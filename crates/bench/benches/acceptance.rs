@@ -1,0 +1,33 @@
+//! B5 as a criterion bench: acceptance-rate sampling (the checkers over
+//! hundreds of random interleavings per iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oodb_sim::{acceptance_rates, AcceptanceConfig};
+
+fn bench_acceptance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_acceptance");
+    group.sample_size(10);
+    for &keys in &[2usize, 8] {
+        let cfg = AcceptanceConfig {
+            txns: 3,
+            ops_per_txn: 2,
+            leaves: 2,
+            keys_per_leaf: keys,
+            pages_per_leaf: 1,
+            search_fraction: 0.25,
+            seed: 13,
+        };
+        group.bench_with_input(BenchmarkId::new("sample100", keys), &cfg, |b, cfg| {
+            b.iter(|| {
+                let r = acceptance_rates(cfg, 100, 2);
+                assert_eq!(r.inclusion_violations, 0);
+                assert!(r.oo >= r.conventional);
+                r.oo
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acceptance);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! B1 as a criterion bench: replay + conflict-rate measurement across
+//! tree fanouts (the keys-per-page knob of §2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oodb_sim::{conflict_rates, replay_encyclopedia, EncMix, EncWorkloadConfig, Skew};
+
+fn bench_conflict_rates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b1_conflict_rate");
+    group.sample_size(10);
+    for &fanout in &[8usize, 32, 128] {
+        let cfg = EncWorkloadConfig {
+            txns: 8,
+            ops_per_txn: 5,
+            key_space: 512,
+            preload: 64,
+            mix: EncMix::insert_only(),
+            skew: Skew::Uniform,
+            seed: 21,
+        };
+        group.bench_with_input(BenchmarkId::new("replay+measure", fanout), &fanout, |b, &f| {
+            b.iter(|| {
+                let out = replay_encyclopedia(&cfg, f, 1);
+                let r = conflict_rates(&out.ts, &out.history, out.setup_txns);
+                assert!(r.oo_ordered_pairs <= r.conventional_ordered_pairs);
+                r.oo_ordered_pairs
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conflict_rates);
+criterion_main!(benches);

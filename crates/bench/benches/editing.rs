@@ -1,0 +1,46 @@
+//! B3 as a criterion bench: cooperative-editing sessions under the three
+//! protocols, varying the page false-sharing factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oodb_sim::{
+    compile_editing, editing_workload, run_simulation, EditWorkloadConfig, LogicalDocConfig,
+    Protocol, SimConfig,
+};
+
+fn bench_editing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b3_editing");
+    group.sample_size(10);
+    for &spp in &[1usize, 8] {
+        let wcfg = EditWorkloadConfig {
+            authors: 8,
+            sections: 8,
+            steps_per_author: 5,
+            overlap: 0.1,
+            step_duration: 10,
+            seed: 11,
+        };
+        let sessions = editing_workload(&wcfg);
+        let dcfg = LogicalDocConfig {
+            sections_per_page: spp,
+            sections: 8,
+        };
+        for p in Protocol::all() {
+            let compiled = compile_editing(&sessions, &dcfg, p);
+            group.bench_with_input(
+                BenchmarkId::new(p.name(), format!("spp{spp}")),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| {
+                        let m = run_simulation(compiled, &SimConfig::default());
+                        assert_eq!(m.committed, 8);
+                        m.makespan
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_editing);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! B4 as a criterion bench: the cost of the dependency-inference fixpoint
+//! itself (`SystemSchedules::infer`) and of the serializability checkers,
+//! on recorded executions of growing size — the bookkeeping the paper
+//! trades for concurrency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oodb_core::prelude::*;
+use oodb_sim::{replay_encyclopedia, EncMix, EncWorkloadConfig};
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_overhead");
+    group.sample_size(10);
+    for &txns in &[4usize, 16] {
+        let cfg = EncWorkloadConfig {
+            txns,
+            ops_per_txn: 8,
+            key_space: 512,
+            preload: 64,
+            mix: EncMix::update_heavy(),
+            ..Default::default()
+        };
+        let out = replay_encyclopedia(&cfg, 16, 7);
+        group.bench_with_input(
+            BenchmarkId::new("infer", format!("{}actions", out.ts.action_count())),
+            &out,
+            |b, out| {
+                b.iter(|| {
+                    let ss = SystemSchedules::infer(&out.ts, &out.history);
+                    ss.trace().len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("analyze", format!("{}actions", out.ts.action_count())),
+            &out,
+            |b, out| {
+                b.iter(|| {
+                    let r = analyze(&out.ts, &out.history);
+                    r.oo_decentralized.is_ok()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conventional-only", format!("{}actions", out.ts.action_count())),
+            &out,
+            |b, out| {
+                b.iter(|| check_conventional(&out.ts, &out.history).is_ok())
+            },
+        );
+        // the incremental engine fed the whole history — identical
+        // relations except Definition 5 virtual-footprint seeds (which it
+        // does not derive); measures the amortized per-edge cost profile
+        group.bench_with_input(
+            BenchmarkId::new("incremental-feed", format!("{}actions", out.ts.action_count())),
+            &out,
+            |b, out| {
+                b.iter(|| {
+                    let mut inc = oodb_core::incremental::IncrementalSchedules::new();
+                    for &p in out.history.order() {
+                        inc.on_primitive(&out.ts, p);
+                    }
+                    inc.top_level_deps().edge_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! B2 as a criterion bench: the locking simulator under the three
+//! protocols at several concurrency levels. The measured quantity is the
+//! wall-clock of simulating the run; the experiment table (simulated
+//! makespans) comes from `experiments b2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oodb_sim::{
+    compile_encyclopedia, encyclopedia_workload, run_simulation, EncMix, EncWorkloadConfig,
+    LogicalEncConfig, Protocol, SimConfig, Skew,
+};
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b2_protocols");
+    group.sample_size(10);
+    for &txns in &[8usize, 24] {
+        let wcfg = EncWorkloadConfig {
+            txns,
+            ops_per_txn: 6,
+            key_space: 256,
+            preload: 0,
+            mix: EncMix::update_heavy(),
+            skew: Skew::Zipf(0.8),
+            seed: 5,
+        };
+        let w = encyclopedia_workload(&wcfg);
+        let lcfg = LogicalEncConfig {
+            keys_per_leaf: 32,
+            key_space: 256,
+            page_ticks: 2,
+        };
+        for p in Protocol::all() {
+            let compiled = compile_encyclopedia(&w.txn_ops, &lcfg, p);
+            group.bench_with_input(
+                BenchmarkId::new(p.name(), txns),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| {
+                        let m = run_simulation(compiled, &SimConfig::default());
+                        assert_eq!(m.committed, txns);
+                        m.makespan
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,541 @@
+//! Quantitative experiments B1–B8 (see DESIGN.md §4).
+//!
+//! Every function returns a rendered table plus, where benches reuse the
+//! computation, the raw series. Absolute numbers are simulator ticks or
+//! rates; the paper's claims are about *shape* (who wins, where the gap
+//! opens), which EXPERIMENTS.md records.
+
+use crate::table::{f3, Table};
+use oodb_sim::{
+    acceptance_rates, compile_editing, compile_encyclopedia, conflict_rates, editing_workload,
+    encyclopedia_workload, replay_encyclopedia, run_simulation, AcceptanceConfig, EditWorkloadConfig,
+    EncMix, EncWorkloadConfig, LogicalDocConfig, LogicalEncConfig, Protocol, SimConfig, Skew,
+};
+use std::time::Instant;
+
+/// **B1** — conflict rates, conventional vs oo, sweeping keys-per-page
+/// (tree fanout) and key skew. The paper's §2 argument: "every node …
+/// contains many keys (rough up to 500). Operations on these keys will
+/// often conflict at the page level but commute at the node level."
+pub fn b1() -> String {
+    let mut t = Table::new(&[
+        "fanout",
+        "skew",
+        "prim-conflict-rate",
+        "conv-ordered-pairs",
+        "oo-ordered-pairs",
+        "conv-rate",
+        "oo-rate",
+        "gain",
+    ]);
+    for &fanout in &[4usize, 16, 64, 128] {
+        for skew in [Skew::Uniform, Skew::Zipf(1.0)] {
+            let cfg = EncWorkloadConfig {
+                txns: 10,
+                ops_per_txn: 6,
+                key_space: 512,
+                preload: 128,
+                mix: EncMix::insert_only(),
+                skew,
+                seed: 21,
+            };
+            // average across interleavings
+            let mut conv = 0usize;
+            let mut oo = 0usize;
+            let mut pairs = 0usize;
+            let mut prim_rate = 0.0;
+            let runs = 3;
+            for seed in 0..runs {
+                let out = replay_encyclopedia(&cfg, fanout, seed);
+                let r = conflict_rates(&out.ts, &out.history, out.setup_txns);
+                conv += r.conventional_ordered_pairs;
+                oo += r.oo_ordered_pairs;
+                pairs += r.txn_pairs;
+                prim_rate += r.primitive_conflict_rate();
+            }
+            let conv_rate = conv as f64 / pairs as f64;
+            let oo_rate = oo as f64 / pairs as f64;
+            t.row(vec![
+                fanout.to_string(),
+                format!("{skew:?}"),
+                f3(prim_rate / runs as f64),
+                conv.to_string(),
+                oo.to_string(),
+                f3(conv_rate),
+                f3(oo_rate),
+                if conv > 0 {
+                    format!("{:.1}x", conv as f64 / (oo.max(1)) as f64)
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+    }
+    format!(
+        "B1 — rate of conflicting accesses: conventional vs oo-serializability\n\
+         (insert-only encyclopedia workload, live B+-tree, 10 txns x 6 ops)\n\n{}",
+        t.render()
+    )
+}
+
+/// **B2** — protocol throughput under the logical encyclopedia model:
+/// page 2PL vs open-nested vs closed-nested, sweeping concurrency and
+/// contention (keys per leaf).
+pub fn b2() -> String {
+    let mut t = Table::new(&[
+        "txns",
+        "keys/leaf",
+        "protocol",
+        "makespan",
+        "throughput",
+        "wait-ticks",
+        "deadlocks",
+    ]);
+    for &txns in &[4usize, 16, 48] {
+        for &kpl in &[16usize, 128] {
+            let wcfg = EncWorkloadConfig {
+                txns,
+                ops_per_txn: 6,
+                key_space: 256,
+                preload: 0,
+                mix: EncMix::update_heavy(),
+                skew: Skew::Zipf(0.8),
+                seed: 5,
+            };
+            let w = encyclopedia_workload(&wcfg);
+            let lcfg = LogicalEncConfig {
+                keys_per_leaf: kpl,
+                key_space: 256,
+                page_ticks: 2,
+            };
+            for p in Protocol::all() {
+                let compiled = compile_encyclopedia(&w.txn_ops, &lcfg, p);
+                let m = run_simulation(&compiled, &SimConfig::default());
+                t.row(vec![
+                    txns.to_string(),
+                    kpl.to_string(),
+                    p.name().to_string(),
+                    m.makespan.to_string(),
+                    f3(m.throughput()),
+                    m.wait_ticks.to_string(),
+                    m.deadlock_aborts.to_string(),
+                ]);
+            }
+        }
+    }
+    format!(
+        "B2 — protocol comparison on the logical encyclopedia\n\
+         (update-heavy mix, zipf 0.8; throughput = committed txns / 1000 ticks)\n\n{}",
+        t.render()
+    )
+}
+
+/// **B3** — cooperative editing (§1 motivation): long author sessions,
+/// page false-sharing, per protocol.
+pub fn b3() -> String {
+    let mut t = Table::new(&[
+        "authors",
+        "sections/page",
+        "overlap",
+        "protocol",
+        "makespan",
+        "wait-ticks",
+        "mean-response",
+    ]);
+    for &authors in &[2usize, 4, 8] {
+        for &spp in &[1usize, 4, 8] {
+            for &overlap in &[0.0f64, 0.3] {
+                let wcfg = EditWorkloadConfig {
+                    authors,
+                    sections: 8,
+                    steps_per_author: 5,
+                    overlap,
+                    step_duration: 10,
+                    seed: 11,
+                };
+                let sessions = editing_workload(&wcfg);
+                let dcfg = LogicalDocConfig {
+                    sections_per_page: spp,
+                    sections: 8,
+                };
+                for p in Protocol::all() {
+                    let compiled = compile_editing(&sessions, &dcfg, p);
+                    let m = run_simulation(&compiled, &SimConfig::default());
+                    t.row(vec![
+                        authors.to_string(),
+                        spp.to_string(),
+                        format!("{overlap:.1}"),
+                        p.name().to_string(),
+                        m.makespan.to_string(),
+                        m.wait_ticks.to_string(),
+                        format!("{:.1}", m.mean_response),
+                    ]);
+                }
+            }
+        }
+    }
+    format!(
+        "B3 — cooperative editing: authors x sections, page false-sharing\n\
+         (each author: 5 edit steps of 10 ticks + 2-tick page writes)\n\n{}",
+        t.render()
+    )
+}
+
+/// **B4** — overhead ablation: wall-clock cost of dependency inference
+/// per recorded action, as histories grow.
+pub fn b4() -> String {
+    let mut t = Table::new(&[
+        "txns",
+        "actions",
+        "primitives",
+        "infer-total-ms",
+        "infer-us/action",
+    ]);
+    for &txns in &[4usize, 8, 16, 32] {
+        let cfg = EncWorkloadConfig {
+            txns,
+            ops_per_txn: 8,
+            key_space: 512,
+            preload: 128,
+            mix: EncMix::update_heavy(),
+            ..Default::default()
+        };
+        let out = replay_encyclopedia(&cfg, 16, 7);
+        let actions = out.ts.action_count();
+        let start = Instant::now();
+        let iters = 5;
+        for _ in 0..iters {
+            let ss = oodb_core::schedule::SystemSchedules::infer(&out.ts, &out.history);
+            std::hint::black_box(ss.trace().len());
+        }
+        let total = start.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+        t.row(vec![
+            txns.to_string(),
+            actions.to_string(),
+            out.history.len().to_string(),
+            format!("{total:.2}"),
+            format!("{:.2}", total * 1000.0 / actions as f64),
+        ]);
+    }
+    format!(
+        "B4 — cost of dependency tracking: SystemSchedules::infer on\n\
+         recorded encyclopedia executions (mean of 5 runs)\n\n{}",
+        t.render()
+    )
+}
+
+/// **B5** — schedule-acceptance rates: what fraction of random
+/// (operation-atomic) interleavings each definition accepts, sweeping
+/// same-key contention, plus the no-semantics ablation.
+pub fn b5() -> String {
+    let mut t = Table::new(&[
+        "keys/leaf",
+        "samples",
+        "conventional",
+        "oo (paper)",
+        "oo (global)",
+        "oo (no semantics)",
+        "inclusion-violations",
+    ]);
+    for &keys in &[1usize, 2, 4, 16] {
+        let cfg = AcceptanceConfig {
+            txns: 3,
+            ops_per_txn: 2,
+            leaves: 2,
+            keys_per_leaf: keys,
+            pages_per_leaf: 1,
+            search_fraction: 0.25,
+            seed: 13,
+        };
+        let samples = 400;
+        let r = acceptance_rates(&cfg, samples, 2);
+        t.row(vec![
+            keys.to_string(),
+            samples.to_string(),
+            format!("{} ({})", r.conventional, f3(r.conventional as f64 / samples as f64)),
+            format!("{} ({})", r.oo, f3(r.oo as f64 / samples as f64)),
+            format!("{} ({})", r.oo_global, f3(r.oo_global as f64 / samples as f64)),
+            format!(
+                "{} ({})",
+                r.oo_no_semantics,
+                f3(r.oo_no_semantics as f64 / samples as f64)
+            ),
+            r.inclusion_violations.to_string(),
+        ]);
+    }
+    format!(
+        "B5 — acceptance rates over random operation-atomic interleavings\n\
+         (3 txns x 2 keyed ops on 2 leaves / 1 page each; fewer keys per\n\
+         leaf = more same-key conflicts = smaller semantic gain)\n\n{}",
+        t.render()
+    )
+}
+
+/// **B6** — the optimistic certifier over replayed executions: commit /
+/// wait / abort rates as contention grows (smaller key spaces = more
+/// same-key conflicts = more waits and validation aborts).
+pub fn b6() -> String {
+    use oodb_core::certifier::{Certifier, CertifierMode, CommitOutcome, WaitPolicy};
+    use oodb_core::ids::TxnIdx;
+
+    let mut t = Table::new(&[
+        "key-space",
+        "txns",
+        "commits",
+        "validation-aborts",
+        "waits",
+        "committed-set-serializable",
+    ]);
+    for &key_space in &[8usize, 32, 256] {
+        let cfg = EncWorkloadConfig {
+            txns: 8,
+            ops_per_txn: 5,
+            key_space,
+            preload: key_space / 2,
+            mix: EncMix::update_heavy(),
+            skew: Skew::Uniform,
+            seed: 41,
+        };
+        let out = replay_encyclopedia(&cfg, 16, 3);
+        // strict wait policy with a bounded retry loop; unresolved waits
+        // (wait cycles) are broken by aborting the waiter
+        let mut cert = Certifier::new(CertifierMode::Paper).with_wait_policy(WaitPolicy::Require);
+        // pre-commit the setup transaction
+        let _ = cert.try_commit(&out.ts, &out.history, TxnIdx(0));
+        let mut pending: Vec<u32> = (1..=cfg.txns as u32).collect();
+        let mut validation_aborts = 0usize;
+        for _round in 0..=cfg.txns {
+            let mut next = Vec::new();
+            for &x in &pending {
+                match cert.try_commit(&out.ts, &out.history, TxnIdx(x)) {
+                    CommitOutcome::Committed => {}
+                    CommitOutcome::MustWait { .. } => next.push(x),
+                    CommitOutcome::MustAbort(_) => validation_aborts += 1,
+                }
+            }
+            if next.len() == pending.len() {
+                // wait cycle: abort the first waiter and cascade
+                if let Some(&victim) = next.first() {
+                    let mut stack = vec![TxnIdx(victim)];
+                    while let Some(v) = stack.pop() {
+                        if cert.aborted().contains(&v) || cert.committed().contains(&v) {
+                            continue;
+                        }
+                        stack.extend(cert.abort(&out.ts, &out.history, v));
+                    }
+                    next.retain(|&x| !cert.aborted().contains(&TxnIdx(x)));
+                }
+            }
+            pending = next;
+            if pending.is_empty() {
+                break;
+            }
+        }
+        let committed = cert.committed_history(&out.ts, &out.history);
+        let ss = oodb_core::schedule::SystemSchedules::infer(&out.ts, &committed);
+        let ok = oodb_core::serializability::check_system_decentralized(&out.ts, &ss).is_ok();
+        t.row(vec![
+            key_space.to_string(),
+            cfg.txns.to_string(),
+            cert.stats.commits.to_string(),
+            validation_aborts.to_string(),
+            cert.stats.waits.to_string(),
+            ok.to_string(),
+        ]);
+    }
+    format!(
+        "B6 — optimistic certifier (commit dependencies + cascading aborts)\n\
+         over replayed encyclopedia executions, sweeping contention\n\n{}",
+        t.render()
+    )
+}
+
+/// **B7** — banking with escrow semantics and deadlock-policy sweep:
+/// escrow modes vs page locks on hot accounts, under detection,
+/// wound-wait, and wait-die.
+pub fn b7() -> String {
+    use oodb_sim::{banking_workload, compile_banking, BankWorkloadConfig, DeadlockPolicy,
+        LogicalBankConfig};
+    let mut t = Table::new(&[
+        "accounts",
+        "policy",
+        "protocol",
+        "makespan",
+        "throughput",
+        "aborts",
+    ]);
+    for &accounts in &[4usize, 32] {
+        let w = banking_workload(&BankWorkloadConfig {
+            txns: 12,
+            ops_per_txn: 5,
+            accounts,
+            read_fraction: 0.15,
+            seed: 19,
+        });
+        let cfg = LogicalBankConfig {
+            accounts,
+            accounts_per_page: 8,
+            op_ticks: 3,
+        };
+        for policy in [
+            DeadlockPolicy::Detect,
+            DeadlockPolicy::WoundWait,
+            DeadlockPolicy::WaitDie,
+        ] {
+            for p in Protocol::all() {
+                let m = run_simulation(
+                    &compile_banking(&w, &cfg, p),
+                    &SimConfig {
+                        policy,
+                        ..Default::default()
+                    },
+                );
+                t.row(vec![
+                    accounts.to_string(),
+                    format!("{policy:?}"),
+                    p.name().to_string(),
+                    m.makespan.to_string(),
+                    f3(m.throughput()),
+                    m.deadlock_aborts.to_string(),
+                ]);
+            }
+        }
+    }
+    format!(
+        "B7 — banking: escrow commutativity vs page locking on hot accounts,\n\
+         under three deadlock policies (12 txns x 5 ops)\n\n{}",
+        t.render()
+    )
+}
+
+/// **B8** — range queries vs concurrent inserts: the phantom problem
+/// (§1's anomaly list) handled semantically. Interval-precise
+/// `rangeScan` locks admit every out-of-range insert; page-level range
+/// protection read-locks whole leaf pages to commit.
+pub fn b8() -> String {
+    use oodb_sim::compile_encyclopedia;
+    let mut t = Table::new(&[
+        "txns",
+        "range-width",
+        "protocol",
+        "makespan",
+        "wait-ticks",
+        "conv-ordered-pairs",
+        "oo-ordered-pairs",
+    ]);
+    for &txns in &[8usize, 24] {
+        let wcfg = EncWorkloadConfig {
+            txns,
+            ops_per_txn: 5,
+            key_space: 512,
+            preload: 256,
+            mix: EncMix::range_heavy(),
+            skew: Skew::Uniform,
+            seed: 23,
+        };
+        let w = encyclopedia_workload(&wcfg);
+        // throughput side: logical sim
+        let lcfg = LogicalEncConfig {
+            keys_per_leaf: 64,
+            key_space: 512,
+            page_ticks: 2,
+        };
+        // conflict side: one live replay
+        let out = replay_encyclopedia(&wcfg, 64, 2);
+        let rates = conflict_rates(&out.ts, &out.history, out.setup_txns);
+        for p in Protocol::all() {
+            let m = run_simulation(&compile_encyclopedia(&w.txn_ops, &lcfg, p), &SimConfig::default());
+            t.row(vec![
+                txns.to_string(),
+                "~1/16 of keyspace".into(),
+                p.name().to_string(),
+                m.makespan.to_string(),
+                m.wait_ticks.to_string(),
+                rates.conventional_ordered_pairs.to_string(),
+                rates.oo_ordered_pairs.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "B8 — range scans vs inserts (phantom handling): interval-precise\n\
+         semantic locks vs page read locks; ordered-pair columns from a\n\
+         live replay of the same workload\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b1_table_is_complete_and_shows_gain() {
+        let s = b1();
+        assert!(s.lines().count() >= 8 + 3, "8 sweep rows expected");
+        assert!(s.contains("Uniform"));
+        assert!(s.contains("Zipf"));
+        // at least one row with a strict gain marker
+        assert!(s.contains('x'), "gain column present: {s}");
+    }
+
+    #[test]
+    fn b2_covers_all_protocols() {
+        let s = b2();
+        for p in ["page-2pl", "open-nested", "closed-nested"] {
+            assert!(s.contains(p));
+        }
+    }
+
+    #[test]
+    fn b3_covers_sweep() {
+        let s = b3();
+        assert!(s.contains("page-2pl"));
+        assert!(s.matches('\n').count() > 30, "3x3x2x3 rows expected");
+    }
+
+    #[test]
+    fn b4_reports_costs() {
+        let s = b4();
+        assert!(s.contains("infer-us/action"));
+        assert!(s.lines().count() >= 4 + 3);
+    }
+
+    #[test]
+    fn b6_committed_sets_are_serializable() {
+        let s = b6();
+        // the last column must be all "true"
+        for line in s.lines().skip_while(|l| !l.starts_with('-')).skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            assert!(line.trim_end().ends_with("true"), "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn b7_covers_policies_and_protocols() {
+        let s = b7();
+        for needle in ["Detect", "WoundWait", "WaitDie", "open-nested", "page-2pl"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn b8_range_scans_show_semantic_gain() {
+        let s = b8();
+        assert!(s.contains("open-nested"));
+        assert!(s.contains("~1/16"));
+    }
+
+    #[test]
+    fn b5_no_inclusion_violations() {
+        let s = b5();
+        // the last column must be all zeros
+        for line in s.lines().skip_while(|l| !l.starts_with('-')).skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            assert!(line.trim_end().ends_with('0'), "inclusion violated: {line}");
+        }
+    }
+}

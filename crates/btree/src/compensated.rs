@@ -1,0 +1,334 @@
+//! Compensation-aware encyclopedia: open nested transactions with
+//! semantic undo.
+//!
+//! Open nesting releases subtransaction effects early, so aborting a
+//! top-level transaction must *compensate* — run semantic inverses
+//! through the ordinary mutation paths — instead of restoring page
+//! before-images (which would clobber other transactions' work that
+//! already built on the released state). [`CompensatedEncyclopedia`]
+//! wraps [`crate::Encyclopedia`], logs an [`Inverse`] for every
+//! state-changing operation, and on abort executes the plan in reverse
+//! order inside a fresh *compensation transaction* — which the
+//! concurrency machinery records and serializes like any other.
+
+use crate::encyclopedia::Encyclopedia;
+use crate::list::ItemId;
+use oodb_core::commutativity::ActionDescriptor;
+use oodb_core::compensation::{CompensationLog, Inverse, InverseRegistry};
+use oodb_core::value::{key, Value};
+use oodb_model::TxnCtx;
+
+/// Encyclopedia with compensation logging and semantic abort.
+pub struct CompensatedEncyclopedia {
+    enc: Encyclopedia,
+    log: CompensationLog,
+    registry: InverseRegistry,
+}
+
+/// Outcome of [`CompensatedEncyclopedia::abort`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbortReport {
+    /// Inverses executed, in execution (reverse-commit) order.
+    pub compensated: Vec<Inverse>,
+    /// Inverses that could not apply (e.g. the key was deleted by a later
+    /// transaction — a semantic conflict the protocol should have
+    /// prevented; surfaced for diagnosis instead of silently ignored).
+    pub failed: Vec<Inverse>,
+}
+
+impl CompensatedEncyclopedia {
+    /// Wrap an encyclopedia.
+    pub fn new(enc: Encyclopedia) -> Self {
+        CompensatedEncyclopedia {
+            enc,
+            log: CompensationLog::new(),
+            registry: InverseRegistry::new(),
+        }
+    }
+
+    /// The wrapped encyclopedia (read-only access for assertions).
+    pub fn inner(&self) -> &Encyclopedia {
+        &self.enc
+    }
+
+    /// Pending inverses of a transaction.
+    pub fn pending(&self, ctx: &TxnCtx) -> usize {
+        self.log.pending(ctx.txn_number())
+    }
+
+    /// Insert; logs `delete(key)` as the inverse.
+    pub fn insert(&mut self, ctx: &mut TxnCtx, k: &str, text: &str) -> Option<ItemId> {
+        let id = self.enc.insert(ctx, k, text)?;
+        let inverse = self
+            .registry
+            .invert(&ActionDescriptor::new("insert", vec![key(k)]), None)
+            .expect("insert is invertible");
+        self.log
+            .push(ctx.txn_number(), Inverse::new("Enc", inverse));
+        Some(id)
+    }
+
+    /// Change an item's text; logs an update back to the previous text.
+    pub fn change(&mut self, ctx: &mut TxnCtx, k: &str, text: &str) -> bool {
+        // capture the previous text through the ordinary (recorded) path:
+        // compensation data is state the transaction legitimately read
+        let Some(old) = self.enc.search(ctx, k) else {
+            return false;
+        };
+        if !self.enc.change(ctx, k, text) {
+            return false;
+        }
+        let inverse = self
+            .registry
+            .invert(
+                &ActionDescriptor::new("update", vec![key(k)]),
+                Some(&Value::Str(old)),
+            )
+            .expect("update is invertible");
+        self.log
+            .push(ctx.txn_number(), Inverse::new("Enc", inverse));
+        true
+    }
+
+    /// Delete; logs a re-insert of the removed text.
+    pub fn delete(&mut self, ctx: &mut TxnCtx, k: &str) -> bool {
+        let Some(old) = self.enc.search(ctx, k) else {
+            return false;
+        };
+        if !self.enc.delete(ctx, k) {
+            return false;
+        }
+        let inverse = self
+            .registry
+            .invert(
+                &ActionDescriptor::new("delete", vec![key(k)]),
+                Some(&Value::Str(old)),
+            )
+            .expect("delete is invertible");
+        self.log
+            .push(ctx.txn_number(), Inverse::new("Enc", inverse));
+        true
+    }
+
+    /// Read-only operations need no logging.
+    pub fn search(&self, ctx: &mut TxnCtx, k: &str) -> Option<String> {
+        self.enc.search(ctx, k)
+    }
+
+    /// Sequential read (no logging).
+    pub fn read_seq(&self, ctx: &mut TxnCtx) -> Vec<(ItemId, String, String)> {
+        self.enc.read_seq(ctx)
+    }
+
+    /// Commit: the transaction's effects stand; drop its inverses.
+    pub fn commit(&mut self, ctx: TxnCtx) {
+        self.log.commit(ctx.txn_number());
+        drop(ctx);
+    }
+
+    /// Abort: execute the compensation plan in reverse order within the
+    /// supplied *compensation transaction* context (a fresh top-level
+    /// transaction, typically named `C(T_n)`), then drop the original
+    /// context.
+    pub fn abort(&mut self, aborted: TxnCtx, comp_ctx: &mut TxnCtx) -> AbortReport {
+        let plan = self.log.abort_plan(aborted.txn_number());
+        drop(aborted);
+        let mut report = AbortReport {
+            compensated: Vec::new(),
+            failed: Vec::new(),
+        };
+        for inv in plan {
+            let ok = match inv.descriptor.method.as_str() {
+                "delete" => {
+                    let k = inv.descriptor.args[0].as_key().expect("keyed inverse");
+                    self.enc.delete(comp_ctx, k)
+                }
+                "insert" => {
+                    let k = inv.descriptor.args[0].as_key().expect("keyed inverse");
+                    let text = inv
+                        .descriptor
+                        .args
+                        .get(1)
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("");
+                    self.enc.insert(comp_ctx, k, text).is_some()
+                }
+                "update" => {
+                    let k = inv.descriptor.args[0].as_key().expect("keyed inverse");
+                    let text = inv
+                        .descriptor
+                        .args
+                        .get(1)
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("");
+                    self.enc.change(comp_ctx, k, text)
+                }
+                other => panic!("no executor for inverse method {other}"),
+            };
+            if ok {
+                report.compensated.push(inv);
+            } else {
+                report.failed.push(inv);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encyclopedia::EncyclopediaConfig;
+    use oodb_core::prelude::{analyze, extend_virtual_objects};
+    use oodb_model::Recorder;
+
+    fn setup() -> (CompensatedEncyclopedia, Recorder) {
+        let rec = Recorder::new();
+        let enc = Encyclopedia::create(
+            rec.clone(),
+            EncyclopediaConfig {
+                fanout: 4,
+                ..Default::default()
+            },
+        );
+        (CompensatedEncyclopedia::new(enc), rec)
+    }
+
+    /// Snapshot of visible state for before/after comparison.
+    fn state(enc: &CompensatedEncyclopedia, rec: &Recorder) -> Vec<(String, String)> {
+        let mut ctx = rec.begin_txn("Snapshot");
+        let items = enc.read_seq(&mut ctx);
+        drop(ctx);
+        let mut v: Vec<(String, String)> = items.into_iter().map(|(_, k, t)| (k, t)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn abort_restores_semantic_state() {
+        let (mut enc, rec) = setup();
+        let mut seed = rec.begin_txn("Seed");
+        enc.insert(&mut seed, "DBS", "database systems");
+        enc.insert(&mut seed, "DBMS", "v1");
+        enc.commit(seed);
+        let before = state(&enc, &rec);
+
+        // a transaction that inserts, changes, and deletes — then aborts
+        let mut t = rec.begin_txn("T");
+        enc.insert(&mut t, "OODB", "object-oriented");
+        enc.change(&mut t, "DBMS", "v2");
+        enc.delete(&mut t, "DBS");
+        assert_eq!(enc.pending(&t), 3);
+        let mut comp = rec.begin_txn("C(T)");
+        let report = enc.abort(t, &mut comp);
+        drop(comp);
+        assert_eq!(report.compensated.len(), 3);
+        assert!(report.failed.is_empty());
+
+        // visible state is exactly the pre-transaction state
+        assert_eq!(state(&enc, &rec), before);
+    }
+
+    #[test]
+    fn commit_discards_the_log() {
+        let (mut enc, rec) = setup();
+        let mut t = rec.begin_txn("T");
+        enc.insert(&mut t, "DBS", "x");
+        assert_eq!(enc.pending(&t), 1);
+        enc.commit(t);
+        // a later abort plan is empty — effects stand
+        let mut ctx = rec.begin_txn("Check");
+        assert_eq!(enc.search(&mut ctx, "DBS").as_deref(), Some("x"));
+        drop(ctx);
+    }
+
+    #[test]
+    fn reads_are_not_logged() {
+        let (mut enc, rec) = setup();
+        let mut seed = rec.begin_txn("Seed");
+        enc.insert(&mut seed, "DBS", "x");
+        enc.commit(seed);
+        let mut t = rec.begin_txn("T");
+        enc.search(&mut t, "DBS");
+        enc.read_seq(&mut t);
+        assert_eq!(enc.pending(&t), 0);
+        enc.commit(t);
+    }
+
+    #[test]
+    fn interleaved_commit_survives_neighbour_abort() {
+        // T1 aborts; T2 (commuting: different keys) committed in between.
+        // Compensation must not clobber T2's work — the whole point of
+        // semantic (rather than before-image) undo.
+        let (mut enc, rec) = setup();
+        let mut t1 = rec.begin_txn("T1");
+        let mut t2 = rec.begin_txn("T2");
+        enc.insert(&mut t1, "DBS", "t1 item");
+        enc.insert(&mut t2, "DBMS", "t2 item");
+        enc.commit(t2);
+        let mut comp = rec.begin_txn("C(T1)");
+        let report = enc.abort(t1, &mut comp);
+        drop(comp);
+        assert!(report.failed.is_empty());
+
+        let mut ctx = rec.begin_txn("Check");
+        assert_eq!(enc.search(&mut ctx, "DBS"), None, "T1's insert undone");
+        assert_eq!(
+            enc.search(&mut ctx, "DBMS").as_deref(),
+            Some("t2 item"),
+            "T2's commit intact"
+        );
+        drop(ctx);
+
+        // and the whole history — forward work + compensation — is a
+        // valid oo-serializable execution
+        let (mut ts, h) = rec.finish();
+        extend_virtual_objects(&mut ts);
+        let r = analyze(&ts, &h);
+        assert!(r.oo_decentralized.is_ok(), "{:?}", r.oo_decentralized);
+    }
+
+    #[test]
+    fn failed_compensation_is_reported() {
+        let (mut enc, rec) = setup();
+        let mut t1 = rec.begin_txn("T1");
+        enc.insert(&mut t1, "DBS", "x");
+        // another transaction deletes T1's key before the abort — a
+        // semantic conflict the locking protocol would normally forbid
+        let mut rogue = rec.begin_txn("Rogue");
+        enc.delete(&mut rogue, "DBS");
+        enc.commit(rogue);
+        let mut comp = rec.begin_txn("C(T1)");
+        let report = enc.abort(t1, &mut comp);
+        drop(comp);
+        assert_eq!(report.compensated.len(), 0);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].descriptor.method, "delete");
+    }
+
+    #[test]
+    fn nested_change_chain_unwinds_in_reverse() {
+        let (mut enc, rec) = setup();
+        let mut seed = rec.begin_txn("Seed");
+        enc.insert(&mut seed, "K", "v0");
+        enc.commit(seed);
+        let mut t = rec.begin_txn("T");
+        enc.change(&mut t, "K", "v1");
+        enc.change(&mut t, "K", "v2");
+        enc.change(&mut t, "K", "v3");
+        let mut comp = rec.begin_txn("C(T)");
+        let report = enc.abort(t, &mut comp);
+        drop(comp);
+        assert_eq!(report.compensated.len(), 3);
+        // reverse order: v3->v2, v2->v1, v1->v0
+        let restored: Vec<&str> = report
+            .compensated
+            .iter()
+            .map(|i| i.descriptor.args[1].as_str().unwrap())
+            .collect();
+        assert_eq!(restored, vec!["v2", "v1", "v0"]);
+        let mut ctx = rec.begin_txn("Check");
+        assert_eq!(enc.search(&mut ctx, "K").as_deref(), Some("v0"));
+        drop(ctx);
+    }
+}

@@ -1,0 +1,25 @@
+//! # oodb-btree — the encyclopedia substrate
+//!
+//! The paper's running example, built for real over [`oodb_storage`]
+//! pages and recorded through [`oodb_model::Recorder`]:
+//!
+//! * [`node`]/[`tree`] — a B⁺ tree with **B-link** splits and lock
+//!   coupling semantics: leaf splits complete locally and the father is
+//!   rearranged by a separate subtransaction *called from the insert*,
+//!   the call-path cycle motivating the paper's Definition 5;
+//! * [`list`] — the linked list of items with per-item objects;
+//! * [`encyclopedia`] — the `Enc` facade combining both (Figure 2).
+
+#![warn(missing_docs)]
+
+pub mod compensated;
+pub mod encyclopedia;
+pub mod list;
+pub mod node;
+pub mod tree;
+
+pub use compensated::{AbortReport, CompensatedEncyclopedia};
+pub use encyclopedia::{Encyclopedia, EncyclopediaConfig};
+pub use list::{ItemId, ItemList};
+pub use node::{Entry, Node, MAX_KEY_LEN};
+pub use tree::{required_page_size, BLinkTree};

@@ -1,0 +1,471 @@
+//! The linked list of items (Figure 2's `LinkedList` + `Item` objects).
+//!
+//! The encyclopedia stores its items in a linked list of *directory
+//! pages*; each directory record points at the item's content record on a
+//! separate *item page*. Items are first-class objects (`Item8` in the
+//! paper's Example 4) with `read`/`write` semantics; the list itself is a
+//! keyed container whose `readSeq` scan conflicts with every updater —
+//! exactly the `T2 ↔ readSeq` dependency of Figure 8.
+
+use bytes::{Buf, BufMut};
+use oodb_core::commutativity::{ActionDescriptor, KeyedSpec, ReadWriteSpec};
+use oodb_core::ids::ObjectIdx;
+use oodb_core::value::key as keyval;
+use oodb_model::{Recorder, TxnCtx};
+use oodb_storage::{BufferPool, PageError, PageId};
+use std::collections::HashMap;
+
+use std::sync::Arc;
+
+/// Identifier of an item within one list.
+pub type ItemId = u64;
+
+/// One directory record: where an item lives and whether it is alive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DirEntry {
+    id: ItemId,
+    key: String,
+    item_page: PageId,
+    item_slot: u16,
+    alive: bool,
+}
+
+impl DirEntry {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(17 + self.key.len());
+        out.put_u64_le(self.id);
+        out.put_u16_le(self.key.len() as u16);
+        out.put_slice(self.key.as_bytes());
+        out.put_u32_le(self.item_page.0);
+        out.put_u16_le(self.item_slot);
+        out.put_u8(self.alive as u8);
+        out
+    }
+
+    fn decode(mut buf: &[u8]) -> DirEntry {
+        let id = buf.get_u64_le();
+        let klen = buf.get_u16_le() as usize;
+        let kb = buf.copy_to_bytes(klen);
+        let key = String::from_utf8(kb.to_vec()).expect("keys are utf-8");
+        let item_page = PageId(buf.get_u32_le());
+        let item_slot = buf.get_u16_le();
+        let alive = buf.get_u8() != 0;
+        DirEntry {
+            id,
+            key,
+            item_page,
+            item_slot,
+            alive,
+        }
+    }
+}
+
+/// Linked list of items over pages, with per-item objects.
+pub struct ItemList {
+    pool: BufferPool,
+    rec: Recorder,
+    name: String,
+    list_obj: ObjectIdx,
+    /// Chain of directory pages, in order (head first). The chain is also
+    /// materialized on the pages themselves via next-pointers in record 0.
+    chain: Vec<PageId>,
+    /// Current item-content page being filled.
+    item_page: PageId,
+    /// Directory cache: id → (directory page, directory slot).
+    directory: HashMap<ItemId, (PageId, u16)>,
+    next_id: ItemId,
+}
+
+const CHAIN_HEADER_SLOT: u16 = 0;
+
+impl ItemList {
+    /// Create an empty list named `name` (e.g. `"LinkedList"`).
+    pub fn create(pool: BufferPool, rec: Recorder, name: impl Into<String>) -> Self {
+        let name = name.into();
+        let list_obj = rec.object(&name, Arc::new(KeyedSpec::search_structure("item-list")));
+        let head_pin = pool.allocate().expect("allocating list head");
+        let head = head_pin.id();
+        // record 0 of each chain page: next chain page + 1 (0 = none)
+        head_pin.write(|p| {
+            p.insert(&0u32.to_le_bytes()).expect("fresh page has space");
+        });
+        drop(head_pin);
+        let item_pin = pool.allocate().expect("allocating item page");
+        let item_page = item_pin.id();
+        drop(item_pin);
+        ItemList {
+            pool,
+            rec,
+            name,
+            list_obj,
+            chain: vec![head],
+            item_page,
+            directory: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The list's facade object.
+    pub fn object(&self) -> ObjectIdx {
+        self.list_obj
+    }
+
+    /// The list's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn page_object(&self, page: PageId) -> ObjectIdx {
+        self.rec
+            .object(&format!("Page{}", page.0), Arc::new(ReadWriteSpec))
+    }
+
+    fn item_object(&self, id: ItemId) -> ObjectIdx {
+        self.rec
+            .object(&format!("Item{id}"), Arc::new(ReadWriteSpec))
+    }
+
+    /// Number of live items.
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// True iff no live items exist.
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// Append a new item with `key` and `text`; returns its id.
+    pub fn insert(&mut self, ctx: &mut TxnCtx, key: &str, text: &str) -> ItemId {
+        ctx.enter(
+            self.list_obj,
+            ActionDescriptor::new("insert", vec![keyval(key)]),
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+
+        // 1. store the content on an item page, via the item object
+        let item_obj = self.item_object(id);
+        ctx.enter(item_obj, ActionDescriptor::nullary("write"));
+        let (item_page, item_slot) = self.store_content(text.as_bytes());
+        ctx.page_write(self.page_object(item_page));
+        ctx.exit();
+
+        // 2. append the directory record to the chain's tail page
+        let entry = DirEntry {
+            id,
+            key: key.to_owned(),
+            item_page,
+            item_slot,
+            alive: true,
+        };
+        let (dir_page, dir_slot) = self.append_directory(ctx, &entry);
+        self.directory.insert(id, (dir_page, dir_slot));
+        ctx.exit();
+        id
+    }
+
+    fn store_content(&mut self, bytes: &[u8]) -> (PageId, u16) {
+        loop {
+            let pin = self.pool.fetch(self.item_page).expect("item page exists");
+            let res = pin.write(|p| p.insert(bytes));
+            match res {
+                Ok(slot) => return (self.item_page, slot),
+                Err(PageError::Full { .. }) => {
+                    drop(pin);
+                    let fresh = self.pool.allocate().expect("allocating item page");
+                    self.item_page = fresh.id();
+                }
+                Err(e) => panic!("storing item content: {e}"),
+            }
+        }
+    }
+
+    fn append_directory(&mut self, ctx: &mut TxnCtx, entry: &DirEntry) -> (PageId, u16) {
+        let tail = *self.chain.last().expect("chain never empty");
+        ctx.page_read(self.page_object(tail));
+        let pin = self.pool.fetch(tail).expect("chain page exists");
+        let res = pin.write(|p| p.insert(&entry.encode()));
+        match res {
+            Ok(slot) => {
+                ctx.page_write(self.page_object(tail));
+                (tail, slot)
+            }
+            Err(PageError::Full { .. }) => {
+                drop(pin);
+                // extend the chain: new tail, linked from the old one
+                let fresh = self.pool.allocate().expect("allocating chain page");
+                let new_tail = fresh.id();
+                fresh.write(|p| {
+                    p.insert(&0u32.to_le_bytes()).expect("fresh page has space");
+                });
+                let slot = fresh.write(|p| p.insert(&entry.encode()).expect("fresh page fits"));
+                drop(fresh);
+                let old_pin = self.pool.fetch(tail).expect("chain page exists");
+                old_pin.write(|p| {
+                    p.update(CHAIN_HEADER_SLOT, &(new_tail.0 + 1).to_le_bytes())
+                        .expect("chain header update");
+                });
+                drop(old_pin);
+                ctx.page_write(self.page_object(tail));
+                ctx.page_write(self.page_object(new_tail));
+                self.chain.push(new_tail);
+                (new_tail, slot)
+            }
+            Err(e) => panic!("appending directory record: {e}"),
+        }
+    }
+
+    /// Read an item's text through the list and the item object.
+    ///
+    /// The list-level `search` action is essential for the dependency
+    /// machinery: it makes the callers of conflicting item actions live
+    /// on a *common object* (LinkedList), so Definition 11 inheritance
+    /// can lift their order instead of stranding it in the pairwise
+    /// added relation (Figure 8's `LinkedList: T2 ↔ readSeq` row).
+    pub fn read_item(&self, ctx: &mut TxnCtx, id: ItemId) -> Option<String> {
+        let &(dir_page, dir_slot) = self.directory.get(&id)?;
+        let entry = self.load_entry(dir_page, dir_slot);
+        if !entry.alive {
+            return None;
+        }
+        ctx.enter(
+            self.list_obj,
+            ActionDescriptor::new("search", vec![keyval(&entry.key)]),
+        );
+        let item_obj = self.item_object(id);
+        ctx.enter(item_obj, ActionDescriptor::nullary("read"));
+        ctx.page_read(self.page_object(entry.item_page));
+        let pin = self.pool.fetch(entry.item_page).expect("item page exists");
+        let text = pin.read(|p| {
+            p.read(entry.item_slot)
+                .ok()
+                .map(|b| String::from_utf8_lossy(b).into_owned())
+        });
+        ctx.exit(); // item read
+        ctx.exit(); // list search
+        text
+    }
+
+    /// Overwrite an item's text through the list and the item object (the
+    /// paper's Example 4: `T2` changes the previously inserted item). The
+    /// list-level `update` action carries the dependency to LinkedList —
+    /// see [`ItemList::read_item`].
+    pub fn update_item(&mut self, ctx: &mut TxnCtx, id: ItemId, text: &str) -> bool {
+        let Some(&(dir_page, dir_slot)) = self.directory.get(&id) else {
+            return false;
+        };
+        let mut entry = self.load_entry(dir_page, dir_slot);
+        if !entry.alive {
+            return false;
+        }
+        ctx.enter(
+            self.list_obj,
+            ActionDescriptor::new("update", vec![keyval(&entry.key)]),
+        );
+        let item_obj = self.item_object(id);
+        ctx.enter(item_obj, ActionDescriptor::nullary("write"));
+        ctx.page_read(self.page_object(entry.item_page));
+        let pin = self.pool.fetch(entry.item_page).expect("item page exists");
+        let updated = pin.write(|p| p.update(entry.item_slot, text.as_bytes()).is_ok());
+        if updated {
+            ctx.page_write(self.page_object(entry.item_page));
+        } else {
+            // relocation to a fresh page when the old one cannot grow
+            drop(pin);
+            let (np, ns) = self.store_content(text.as_bytes());
+            ctx.page_write(self.page_object(np));
+            entry.item_page = np;
+            entry.item_slot = ns;
+            let dir_pin = self.pool.fetch(dir_page).expect("dir page exists");
+            dir_pin.write(|p| p.update(dir_slot, &entry.encode()).expect("dir update fits"));
+            drop(dir_pin);
+            ctx.page_write(self.page_object(dir_page));
+        }
+        ctx.exit(); // item write
+        ctx.exit(); // list update
+        true
+    }
+
+    /// Remove an item: mark its directory record dead and delete content.
+    pub fn remove(&mut self, ctx: &mut TxnCtx, id: ItemId) -> bool {
+        let Some(&(dir_page, dir_slot)) = self.directory.get(&id) else {
+            return false;
+        };
+        let mut entry = self.load_entry(dir_page, dir_slot);
+        if !entry.alive {
+            return false;
+        }
+        ctx.enter(
+            self.list_obj,
+            ActionDescriptor::new("delete", vec![keyval(&entry.key)]),
+        );
+        entry.alive = false;
+        ctx.page_read(self.page_object(dir_page));
+        let pin = self.pool.fetch(dir_page).expect("dir page exists");
+        pin.write(|p| p.update(dir_slot, &entry.encode()).expect("dir update fits"));
+        drop(pin);
+        ctx.page_write(self.page_object(dir_page));
+        // delete content
+        ctx.enter(self.item_object(id), ActionDescriptor::nullary("write"));
+        let item_pin = self.pool.fetch(entry.item_page).expect("item page exists");
+        item_pin.write(|p| {
+            let _ = p.delete(entry.item_slot);
+        });
+        drop(item_pin);
+        ctx.page_write(self.page_object(entry.item_page));
+        ctx.exit();
+        self.directory.remove(&id);
+        ctx.exit();
+        true
+    }
+
+    /// Sequential read of all live items, in insertion order — the
+    /// paper's `readSeq`. Each item is read through its item object.
+    pub fn read_seq(&self, ctx: &mut TxnCtx) -> Vec<(ItemId, String, String)> {
+        ctx.enter(self.list_obj, ActionDescriptor::nullary("readSeq"));
+        let mut out = Vec::new();
+        for &page in &self.chain {
+            ctx.page_read(self.page_object(page));
+            let entries = self.load_entries(page);
+            for entry in entries.into_iter().filter(|e| e.alive) {
+                ctx.enter(self.item_object(entry.id), ActionDescriptor::nullary("read"));
+                ctx.page_read(self.page_object(entry.item_page));
+                let pin = self.pool.fetch(entry.item_page).expect("item page exists");
+                let text = pin.read(|p| {
+                    p.read(entry.item_slot)
+                        .map(|b| String::from_utf8_lossy(b).into_owned())
+                        .unwrap_or_default()
+                });
+                ctx.exit();
+                out.push((entry.id, entry.key, text));
+            }
+        }
+        ctx.exit();
+        out
+    }
+
+    fn load_entry(&self, page: PageId, slot: u16) -> DirEntry {
+        let pin = self.pool.fetch(page).expect("dir page exists");
+        pin.read(|p| DirEntry::decode(p.read(slot).expect("directory record present")))
+    }
+
+    fn load_entries(&self, page: PageId) -> Vec<DirEntry> {
+        let pin = self.pool.fetch(page).expect("dir page exists");
+        pin.read(|p| {
+            p.records()
+                .filter(|(s, _)| *s != CHAIN_HEADER_SLOT)
+                .map(|(_, b)| DirEntry::decode(b))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_core::prelude::analyze;
+
+    fn list() -> (ItemList, Recorder) {
+        let rec = Recorder::new();
+        let pool = BufferPool::new(64, 256);
+        let l = ItemList::create(pool, rec.clone(), "LinkedList");
+        (l, rec)
+    }
+
+    #[test]
+    fn insert_read_roundtrip() {
+        let (mut l, rec) = list();
+        let mut ctx = rec.begin_txn("T1");
+        let a = l.insert(&mut ctx, "DBS", "database systems");
+        let b = l.insert(&mut ctx, "DBMS", "management systems");
+        assert_eq!(l.read_item(&mut ctx, a).as_deref(), Some("database systems"));
+        assert_eq!(l.read_item(&mut ctx, b).as_deref(), Some("management systems"));
+        assert_eq!(l.len(), 2);
+        drop(ctx);
+    }
+
+    #[test]
+    fn update_changes_text_even_across_relocation() {
+        let (mut l, rec) = list();
+        let mut ctx = rec.begin_txn("T1");
+        let id = l.insert(&mut ctx, "DBMS", "v1");
+        assert!(l.update_item(&mut ctx, id, "v2"));
+        assert_eq!(l.read_item(&mut ctx, id).as_deref(), Some("v2"));
+        // force relocation with a much larger payload
+        let long = "x".repeat(180);
+        assert!(l.update_item(&mut ctx, id, &long));
+        assert_eq!(l.read_item(&mut ctx, id).as_deref(), Some(long.as_str()));
+        drop(ctx);
+    }
+
+    #[test]
+    fn remove_hides_item() {
+        let (mut l, rec) = list();
+        let mut ctx = rec.begin_txn("T1");
+        let id = l.insert(&mut ctx, "DBS", "text");
+        assert!(l.remove(&mut ctx, id));
+        assert!(!l.remove(&mut ctx, id));
+        assert_eq!(l.read_item(&mut ctx, id), None);
+        assert!(l.is_empty());
+        drop(ctx);
+    }
+
+    #[test]
+    fn read_seq_in_insertion_order_across_chain_pages() {
+        let (mut l, rec) = list();
+        let mut ctx = rec.begin_txn("T1");
+        let n = 40; // enough to overflow 256-byte directory pages
+        for i in 0..n {
+            l.insert(&mut ctx, &format!("k{i:02}"), &format!("text{i}"));
+        }
+        let seq = l.read_seq(&mut ctx);
+        assert_eq!(seq.len(), n);
+        for (i, (id, key, text)) in seq.iter().enumerate() {
+            assert_eq!(*id, i as u64);
+            assert_eq!(key, &format!("k{i:02}"));
+            assert_eq!(text, &format!("text{i}"));
+        }
+        assert!(l.chain.len() > 1, "directory chain must have grown");
+        drop(ctx);
+    }
+
+    #[test]
+    fn item_update_conflicts_with_read_seq() {
+        // Figure 8's LinkedList row: T2 (changes an item) and readSeq
+        // depend on each other when interleaved around the same item
+        let (mut l, rec) = list();
+        let mut setup = rec.begin_txn("Setup");
+        let id = l.insert(&mut setup, "DBMS", "v1");
+        drop(setup);
+        let mut t2 = rec.begin_txn("T2");
+        let mut t4 = rec.begin_txn("T4");
+        // T4 scans, then T2 updates, then T4 scans again: T4 sees both
+        // versions — non-serializable
+        l.read_seq(&mut t4);
+        l.update_item(&mut t2, id, "v2");
+        l.read_seq(&mut t4);
+        drop(t2);
+        drop(t4);
+        let (ts, h) = rec.finish();
+        let r = analyze(&ts, &h);
+        assert!(r.oo_decentralized.is_err());
+    }
+
+    #[test]
+    fn single_scan_and_update_is_serializable() {
+        let (mut l, rec) = list();
+        let mut setup = rec.begin_txn("Setup");
+        let id = l.insert(&mut setup, "DBMS", "v1");
+        drop(setup);
+        let mut t2 = rec.begin_txn("T2");
+        let mut t4 = rec.begin_txn("T4");
+        l.update_item(&mut t2, id, "v2");
+        l.read_seq(&mut t4);
+        drop(t2);
+        drop(t4);
+        let (ts, h) = rec.finish();
+        let r = analyze(&ts, &h);
+        assert!(r.oo_decentralized.is_ok(), "{:?}", r.oo_decentralized);
+    }
+}

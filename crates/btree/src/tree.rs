@@ -1,0 +1,723 @@
+//! A B⁺ tree with B-link splits over simulated pages, recording every
+//! operation as an open-nested transaction.
+//!
+//! Faithful to the paper's §2 description of the index substrate:
+//!
+//! * the tree, every node, and every page are distinct objects with their
+//!   own commutativity semantics (tree/node: key-based; page: read/write);
+//! * a descent is recorded as *nested* `insert`/`search` actions — the
+//!   action on a node calls the action on its child, exactly the
+//!   `Node6.insert() → Leaf11.insert() → …` chain at the end of §2;
+//! * a leaf split completes locally (B-link to the new right sibling,
+//!   high-key handover) and then **rearranges the father as a separate
+//!   subtransaction called from the insert** — so the rearrangement's
+//!   object coincides with an ancestor's object, the call-path cycle of
+//!   Definition 5, broken at analysis time by
+//!   [`oodb_core::extension::extend_virtual_objects`];
+//! * deletion is lazy (no merging), a standard simplification that keeps
+//!   the concurrency-relevant access pattern intact.
+
+use crate::node::{Node, MAX_KEY_LEN};
+use oodb_core::commutativity::{ActionDescriptor, RangeSpec, ReadWriteSpec};
+use oodb_core::ids::ObjectIdx;
+use oodb_core::value::key as keyval;
+use oodb_model::{Recorder, TxnCtx};
+use oodb_storage::{BufferPool, PageError, PageId, PinnedPage};
+use std::sync::Arc;
+
+/// Smallest page size that always fits a node of `fanout` entries plus
+/// the transient overflow entry held just before a split.
+pub fn required_page_size(fanout: usize) -> usize {
+    // node encoding + slotted-page header and one slot
+    let node = 13 + MAX_KEY_LEN + (fanout + 1) * (2 + MAX_KEY_LEN + 8);
+    node + 6 + 4
+}
+
+/// A recorded B-link tree.
+pub struct BLinkTree {
+    pool: BufferPool,
+    rec: Recorder,
+    name: String,
+    tree_obj: ObjectIdx,
+    root: PageId,
+    fanout: usize,
+}
+
+impl BLinkTree {
+    /// Create an empty tree called `name` (its facade object's name) with
+    /// at most `fanout` entries per node. Panics if the pool's pages are
+    /// too small for `fanout` (see [`required_page_size`]).
+    pub fn create(pool: BufferPool, rec: Recorder, name: impl Into<String>, fanout: usize) -> Self {
+        let name = name.into();
+        assert!(fanout >= 2, "fanout must be at least 2");
+        assert!(
+            pool.page_size() >= required_page_size(fanout),
+            "page size {} too small for fanout {} (need {})",
+            pool.page_size(),
+            fanout,
+            required_page_size(fanout)
+        );
+        let tree_obj = rec.object(&name, Arc::new(RangeSpec::ordered_container("bptree")));
+        let root_pin = pool.allocate().expect("allocating the root page");
+        let root = root_pin.id();
+        write_node(&root_pin, &Node::leaf());
+        drop(root_pin);
+        BLinkTree {
+            pool,
+            rec,
+            name,
+            tree_obj,
+            root,
+            fanout,
+        }
+    }
+
+    /// The tree's facade object.
+    pub fn object(&self) -> ObjectIdx {
+        self.tree_obj
+    }
+
+    /// The facade object's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current root page.
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    fn node_object(&self, page: PageId) -> ObjectIdx {
+        self.rec.object(
+            &format!("{}.N{}", self.name, page.0),
+            Arc::new(RangeSpec::ordered_container("btree-node")),
+        )
+    }
+
+    fn page_object(&self, page: PageId) -> ObjectIdx {
+        self.rec
+            .object(&format!("Page{}", page.0), Arc::new(ReadWriteSpec))
+    }
+
+    fn fetch(&self, page: PageId) -> PinnedPage {
+        self.pool.fetch(page).expect("tree pages exist")
+    }
+
+    fn read_node(&self, page: PageId) -> Node {
+        let pin = self.fetch(page);
+        pin.read(|p| Node::decode(p.read(0).expect("node record present")))
+    }
+
+    /// Insert `key → value`. Overwrites silently on duplicate key and
+    /// returns `false` in that case.
+    pub fn insert(&mut self, ctx: &mut TxnCtx, key: &str, value: u64) -> bool {
+        assert!(key.len() <= MAX_KEY_LEN, "key longer than MAX_KEY_LEN");
+        ctx.enter(
+            self.tree_obj,
+            ActionDescriptor::new("insert", vec![keyval(key)]),
+        );
+        // Descend with nested insert actions; remember the path of inner
+        // nodes for the rearrangement chain.
+        let mut path: Vec<PageId> = Vec::new();
+        let mut depth_entered = 0usize;
+        let mut cur = self.root;
+        let leaf = loop {
+            ctx.enter(
+                self.node_object(cur),
+                ActionDescriptor::new("insert", vec![keyval(key)]),
+            );
+            ctx.page_read(self.page_object(cur));
+            let node = self.read_node(cur);
+            if node.must_chase(key) {
+                // B-link chase: this node is no longer responsible
+                ctx.exit();
+                cur = node.right_link.expect("high key implies right link");
+                continue;
+            }
+            if node.is_leaf {
+                depth_entered += 1;
+                break cur;
+            }
+            depth_entered += 1;
+            path.push(cur);
+            cur = node.child_for(key);
+        };
+
+        // Leaf work, inside the (still open) leaf insert action.
+        let pin = self.fetch(leaf);
+        let mut node = pin.read(|p| Node::decode(p.read(0).expect("node record")));
+        let fresh = node.upsert(key, value);
+        if node.entries.len() > self.fanout {
+            let (sep, right) = node.split();
+            let right_pin = self.pool.allocate().expect("allocating split page");
+            let right_page = right_pin.id();
+            // split() already handed the old right link and high key to
+            // the new sibling; B-link: left now points at the sibling
+            // before the father learns anything
+            node.right_link = Some(right_page);
+            write_node(&right_pin, &right);
+            ctx.page_write(self.page_object(right_page));
+            write_node(&pin, &node);
+            ctx.page_write(self.page_object(leaf));
+            drop(right_pin);
+            drop(pin);
+            // rearrange the father — a separate subtransaction called
+            // from this insert (the Definition 5 call-path cycle)
+            self.rearrange(ctx, &mut path, sep, right_page);
+        } else {
+            write_node(&pin, &node);
+            ctx.page_write(self.page_object(leaf));
+            drop(pin);
+        }
+
+        // close leaf + descent actions + the tree-level insert
+        for _ in 0..depth_entered {
+            ctx.exit();
+        }
+        ctx.exit();
+        fresh
+    }
+
+    /// Install `separator → child` in the father (splitting upward as
+    /// needed); creates a new root when the path is exhausted.
+    fn rearrange(
+        &mut self,
+        ctx: &mut TxnCtx,
+        path: &mut Vec<PageId>,
+        separator: String,
+        child: PageId,
+    ) {
+        match path.pop() {
+            None => {
+                // root split: a fresh root over (old root, child)
+                let new_pin = self.pool.allocate().expect("allocating new root");
+                let new_root = new_pin.id();
+                ctx.enter(
+                    self.node_object(new_root),
+                    ActionDescriptor::new("rearrange", vec![keyval(&separator)]),
+                );
+                let mut node = Node::inner(self.root);
+                node.upsert(&separator, child.0 as u64);
+                write_node(&new_pin, &node);
+                ctx.page_write(self.page_object(new_root));
+                ctx.exit();
+                self.root = new_root;
+            }
+            Some(parent) => {
+                ctx.enter(
+                    self.node_object(parent),
+                    ActionDescriptor::new("rearrange", vec![keyval(&separator)]),
+                );
+                ctx.page_read(self.page_object(parent));
+                let pin = self.fetch(parent);
+                let mut node = pin.read(|p| Node::decode(p.read(0).expect("node record")));
+                node.upsert(&separator, child.0 as u64);
+                if node.entries.len() > self.fanout {
+                    let (sep2, right) = node.split();
+                    let right_pin = self.pool.allocate().expect("allocating split page");
+                    let right_page = right_pin.id();
+                    node.right_link = Some(right_page);
+                    write_node(&right_pin, &right);
+                    ctx.page_write(self.page_object(right_page));
+                    write_node(&pin, &node);
+                    ctx.page_write(self.page_object(parent));
+                    drop(right_pin);
+                    drop(pin);
+                    // the father's father is rearranged from within this
+                    // rearrangement
+                    self.rearrange(ctx, path, sep2, right_page);
+                } else {
+                    write_node(&pin, &node);
+                    ctx.page_write(self.page_object(parent));
+                    drop(pin);
+                }
+                ctx.exit();
+            }
+        }
+    }
+
+    /// Exact-match lookup.
+    pub fn search(&self, ctx: &mut TxnCtx, key: &str) -> Option<u64> {
+        ctx.enter(
+            self.tree_obj,
+            ActionDescriptor::new("search", vec![keyval(key)]),
+        );
+        let mut depth_entered = 0usize;
+        let mut cur = self.root;
+        let result = loop {
+            ctx.enter(
+                self.node_object(cur),
+                ActionDescriptor::new("search", vec![keyval(key)]),
+            );
+            ctx.page_read(self.page_object(cur));
+            let node = self.read_node(cur);
+            if node.must_chase(key) {
+                ctx.exit();
+                cur = node.right_link.expect("high key implies right link");
+                continue;
+            }
+            if node.is_leaf {
+                depth_entered += 1;
+                break node.get(key);
+            }
+            depth_entered += 1;
+            cur = node.child_for(key);
+        };
+        for _ in 0..depth_entered {
+            ctx.exit();
+        }
+        ctx.exit();
+        result
+    }
+
+    /// Remove `key`; returns its value if present. Lazy: leaves are never
+    /// merged.
+    pub fn delete(&mut self, ctx: &mut TxnCtx, key: &str) -> Option<u64> {
+        ctx.enter(
+            self.tree_obj,
+            ActionDescriptor::new("delete", vec![keyval(key)]),
+        );
+        let mut depth_entered = 0usize;
+        let mut cur = self.root;
+        let removed = loop {
+            ctx.enter(
+                self.node_object(cur),
+                ActionDescriptor::new("delete", vec![keyval(key)]),
+            );
+            ctx.page_read(self.page_object(cur));
+            let node = self.read_node(cur);
+            if node.must_chase(key) {
+                ctx.exit();
+                cur = node.right_link.expect("high key implies right link");
+                continue;
+            }
+            if node.is_leaf {
+                depth_entered += 1;
+                let pin = self.fetch(cur);
+                let mut node = node;
+                let removed = node.remove(key);
+                if removed.is_some() {
+                    write_node(&pin, &node);
+                    ctx.page_write(self.page_object(cur));
+                }
+                break removed;
+            }
+            depth_entered += 1;
+            cur = node.child_for(key);
+        };
+        for _ in 0..depth_entered {
+            ctx.exit();
+        }
+        ctx.exit();
+        removed
+    }
+
+    /// Full ordered scan over the leaf chain, recorded as the keyless
+    /// `readSeq` (conflicts with every updater, commutes with readers).
+    pub fn scan(&self, ctx: &mut TxnCtx) -> Vec<(String, u64)> {
+        ctx.enter(self.tree_obj, ActionDescriptor::nullary("readSeq"));
+        // descend the leftmost spine
+        let mut cur = self.root;
+        let mut depth_entered = 0usize;
+        loop {
+            ctx.enter(self.node_object(cur), ActionDescriptor::nullary("readSeq"));
+            ctx.page_read(self.page_object(cur));
+            let node = self.read_node(cur);
+            if node.is_leaf {
+                depth_entered += 1;
+                break;
+            }
+            depth_entered += 1;
+            cur = node.first_child.expect("inner node has first child");
+        }
+        // walk the chain
+        let mut out = Vec::new();
+        let mut leaf = Some(cur);
+        let mut first = true;
+        while let Some(p) = leaf {
+            if !first {
+                ctx.enter(self.node_object(p), ActionDescriptor::nullary("readSeq"));
+                ctx.page_read(self.page_object(p));
+                ctx.exit();
+            }
+            let node = self.read_node(p);
+            for e in &node.entries {
+                out.push((e.key.clone(), e.value));
+            }
+            leaf = node.right_link;
+            first = false;
+        }
+        for _ in 0..depth_entered {
+            ctx.exit();
+        }
+        ctx.exit();
+        out
+    }
+
+    /// Range scan over `[lo, hi]` (inclusive), recorded as
+    /// `rangeScan(lo,hi)` — under `RangeSpec` it conflicts with exactly
+    /// the updates whose key falls inside the interval: semantic phantom
+    /// protection (§1 of the paper lists phantoms among the anomalies).
+    pub fn range(&self, ctx: &mut TxnCtx, lo: &str, hi: &str) -> Vec<(String, u64)> {
+        let scan = ActionDescriptor::new("rangeScan", vec![keyval(lo), keyval(hi)]);
+        ctx.enter(self.tree_obj, scan.clone());
+        // descend to the leaf responsible for lo; every visited node is
+        // entered with the rangeScan descriptor (the scan semantically
+        // reads that node's slice of the interval — this is what makes an
+        // in-range insert into the same leaf a conflict, i.e. phantom
+        // protection)
+        let mut cur = self.root;
+        let mut depth_entered = 0usize;
+        loop {
+            ctx.enter(self.node_object(cur), scan.clone());
+            ctx.page_read(self.page_object(cur));
+            let node = self.read_node(cur);
+            if node.must_chase(lo) {
+                ctx.exit();
+                cur = node.right_link.expect("high key implies right link");
+                continue;
+            }
+            if node.is_leaf {
+                depth_entered += 1;
+                break;
+            }
+            depth_entered += 1;
+            cur = node.child_for(lo);
+        }
+        // walk the chain collecting keys in [lo, hi]
+        let mut out = Vec::new();
+        let mut leaf = Some(cur);
+        let mut first = true;
+        'chain: while let Some(p) = leaf {
+            if !first {
+                ctx.enter(self.node_object(p), scan.clone());
+                ctx.page_read(self.page_object(p));
+                ctx.exit();
+            }
+            let node = self.read_node(p);
+            for e in &node.entries {
+                if e.key.as_str() > hi {
+                    break 'chain;
+                }
+                if e.key.as_str() >= lo {
+                    out.push((e.key.clone(), e.value));
+                }
+            }
+            leaf = node.right_link;
+            first = false;
+        }
+        for _ in 0..depth_entered {
+            ctx.exit();
+        }
+        ctx.exit();
+        out
+    }
+
+    /// Depth of the tree (1 = root is a leaf). Unrecorded helper.
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut cur = self.root;
+        loop {
+            let node = self.read_node(cur);
+            if node.is_leaf {
+                return d;
+            }
+            cur = node.first_child.expect("inner has first child");
+            d += 1;
+        }
+    }
+
+    /// Structural integrity check: uniform leaf depth, per-node
+    /// invariants, keys within `[low, high)` responsibility bounds, leaf
+    /// chain globally sorted.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        let mut leaf_depths = Vec::new();
+        self.check_rec(self.root, None, None, 1, &mut leaf_depths)?;
+        if leaf_depths.windows(2).any(|w| w[0] != w[1]) {
+            return Err(format!("non-uniform leaf depths: {leaf_depths:?}"));
+        }
+        // leaf chain sorted end to end
+        let mut cur = self.root;
+        loop {
+            let node = self.read_node(cur);
+            if node.is_leaf {
+                break;
+            }
+            cur = node.first_child.expect("inner has first child");
+        }
+        let mut prev: Option<String> = None;
+        let mut leaf = Some(cur);
+        while let Some(p) = leaf {
+            let node = self.read_node(p);
+            for e in &node.entries {
+                if let Some(pv) = &prev {
+                    if pv.as_str() >= e.key.as_str() {
+                        return Err(format!("leaf chain out of order at {}", e.key));
+                    }
+                }
+                prev = Some(e.key.clone());
+            }
+            leaf = node.right_link;
+        }
+        Ok(())
+    }
+
+    fn check_rec(
+        &self,
+        page: PageId,
+        low: Option<&str>,
+        high: Option<&str>,
+        depth: usize,
+        leaf_depths: &mut Vec<usize>,
+    ) -> Result<(), String> {
+        let node = self.read_node(page);
+        node.check_invariants()
+            .map_err(|e| format!("{page}: {e}"))?;
+        for e in &node.entries {
+            if let Some(l) = low {
+                if e.key.as_str() < l {
+                    return Err(format!("{page}: key {} below low bound {l}", e.key));
+                }
+            }
+            if let Some(h) = high {
+                if e.key.as_str() >= h {
+                    return Err(format!("{page}: key {} above high bound {h}", e.key));
+                }
+            }
+        }
+        if node.is_leaf {
+            leaf_depths.push(depth);
+            return Ok(());
+        }
+        // children: first_child covers [low, k0), entries[i] covers
+        // [k_i, k_{i+1}) — bound by the node's own high key if present
+        let node_high = node.high_key.as_deref().or(high);
+        let first = node.first_child.expect("inner has first child");
+        let first_high = node.entries.first().map(|e| e.key.as_str()).or(node_high);
+        self.check_rec(first, low, first_high, depth + 1, leaf_depths)?;
+        for (i, e) in node.entries.iter().enumerate() {
+            let child_high = node
+                .entries
+                .get(i + 1)
+                .map(|n| n.key.as_str())
+                .or(node_high);
+            self.check_rec(
+                PageId(e.value as u32),
+                Some(e.key.as_str()),
+                child_high,
+                depth + 1,
+                leaf_depths,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Dump the structure (Figure 2 style), one node per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_rec(self.root, 0, &mut out);
+        out
+    }
+
+    fn dump_rec(&self, page: PageId, depth: usize, out: &mut String) {
+        let node = self.read_node(page);
+        let kind = if node.is_leaf { "Leaf" } else { "Node" };
+        out.push_str(&"  ".repeat(depth));
+        let keys: Vec<&str> = node.entries.iter().map(|e| e.key.as_str()).collect();
+        out.push_str(&format!(
+            "{kind} {}.N{} [{}]{}\n",
+            self.name,
+            page.0,
+            keys.join(" "),
+            node.right_link
+                .map(|r| format!(" ->N{}", r.0))
+                .unwrap_or_default()
+        ));
+        if !node.is_leaf {
+            self.dump_rec(node.first_child.unwrap(), depth + 1, out);
+            for e in &node.entries {
+                self.dump_rec(PageId(e.value as u32), depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Write a node into a page's record 0, compacting on fragmentation.
+fn write_node(pin: &PinnedPage, node: &Node) {
+    let bytes = node.encode();
+    pin.write(|p| {
+        let result = if p.slot_count() == 0 {
+            p.insert(&bytes).map(|_| ())
+        } else {
+            p.update(0, &bytes)
+        };
+        match result {
+            Ok(()) => {}
+            Err(PageError::Full { .. }) => {
+                p.compact();
+                if p.slot_count() == 0 {
+                    p.insert(&bytes).map(|_| ()).expect("sized for fanout");
+                } else {
+                    p.update(0, &bytes).expect("sized for fanout");
+                }
+            }
+            Err(e) => panic!("writing node: {e}"),
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_core::prelude::{analyze, extend_virtual_objects};
+
+    fn tree(fanout: usize) -> (BLinkTree, Recorder) {
+        let rec = Recorder::new();
+        let pool = BufferPool::new(256, required_page_size(fanout));
+        let t = BLinkTree::create(pool, rec.clone(), "BpTree", fanout);
+        (t, rec)
+    }
+
+    #[test]
+    fn insert_and_search_roundtrip() {
+        let (mut t, rec) = tree(4);
+        let mut ctx = rec.begin_txn("T1");
+        for (i, k) in ["DBS", "DBMS", "OODB", "IRS"].iter().enumerate() {
+            assert!(t.insert(&mut ctx, k, i as u64));
+        }
+        for (i, k) in ["DBS", "DBMS", "OODB", "IRS"].iter().enumerate() {
+            assert_eq!(t.search(&mut ctx, k), Some(i as u64));
+        }
+        assert_eq!(t.search(&mut ctx, "GHOST"), None);
+        drop(ctx);
+        t.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn duplicate_insert_overwrites() {
+        let (mut t, rec) = tree(4);
+        let mut ctx = rec.begin_txn("T1");
+        assert!(t.insert(&mut ctx, "K", 1));
+        assert!(!t.insert(&mut ctx, "K", 2));
+        assert_eq!(t.search(&mut ctx, "K"), Some(2));
+        drop(ctx);
+    }
+
+    #[test]
+    fn splits_keep_integrity_and_data() {
+        let (mut t, rec) = tree(3);
+        let mut ctx = rec.begin_txn("T1");
+        let keys: Vec<String> = (0..60).map(|i| format!("k{:03}", i * 7 % 60)).collect();
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(&mut ctx, k, i as u64);
+            t.check_integrity().unwrap();
+        }
+        assert!(t.depth() >= 3, "60 keys at fanout 3 must deepen the tree");
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.search(&mut ctx, k), Some(i as u64), "key {k}");
+        }
+        // scan is globally sorted and complete
+        let scanned = t.scan(&mut ctx);
+        assert_eq!(scanned.len(), 60);
+        assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
+        drop(ctx);
+    }
+
+    #[test]
+    fn delete_removes_and_tolerates_missing() {
+        let (mut t, rec) = tree(4);
+        let mut ctx = rec.begin_txn("T1");
+        for i in 0..20 {
+            t.insert(&mut ctx, &format!("k{i:02}"), i);
+        }
+        assert_eq!(t.delete(&mut ctx, "k05"), Some(5));
+        assert_eq!(t.delete(&mut ctx, "k05"), None);
+        assert_eq!(t.search(&mut ctx, "k05"), None);
+        assert_eq!(t.scan(&mut ctx).len(), 19);
+        drop(ctx);
+        t.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn recorded_history_is_serializable_for_single_txn() {
+        let (mut t, rec) = tree(3);
+        let mut ctx = rec.begin_txn("T1");
+        for i in 0..30 {
+            t.insert(&mut ctx, &format!("k{i:02}"), i);
+        }
+        drop(ctx);
+        let (mut ts, h) = rec.finish();
+        // splits rearrange ancestors' nodes: Definition 5 applies
+        let report = extend_virtual_objects(&mut ts);
+        assert!(
+            !report.is_empty(),
+            "splits must create call-path cycles (rearrange on an ancestor's node)"
+        );
+        let r = analyze(&ts, &h);
+        assert!(r.oo_decentralized.is_ok(), "{:?}", r.oo_decentralized);
+    }
+
+    #[test]
+    fn commuting_inserts_leave_top_level_unordered() {
+        let (mut t, rec) = tree(8);
+        // pre-populate so both transactions hit the same leaf
+        let mut setup = rec.begin_txn("Setup");
+        t.insert(&mut setup, "AAA", 0);
+        drop(setup);
+        let mut t1 = rec.begin_txn("T1");
+        let mut t2 = rec.begin_txn("T2");
+        t.insert(&mut t1, "DBS", 1);
+        t.insert(&mut t2, "DBMS", 2);
+        drop(t1);
+        drop(t2);
+        let (mut ts, h) = rec.finish();
+        extend_virtual_objects(&mut ts);
+        let r = analyze(&ts, &h);
+        assert!(r.oo_decentralized.is_ok());
+        let ss = oodb_core::schedule::SystemSchedules::infer(&ts, &h);
+        let top = &ss.schedule(ts.system_object()).action_deps;
+        // Setup precedes both (page conflicts at the shared leaf are
+        // inherited through conflicting... actually Setup/T1/T2 inserts
+        // have distinct keys, so nothing reaches the top level at all
+        assert_eq!(top.edge_count(), 0);
+    }
+
+    #[test]
+    fn blink_chase_finds_keys_after_manual_split_simulation() {
+        // construct a tree, split a leaf, then search keys that live in
+        // the right sibling while descending via a stale parent route:
+        // the high-key chase must still find them
+        let (mut t, rec) = tree(2);
+        let mut ctx = rec.begin_txn("T1");
+        for (i, k) in ["A", "B", "C", "D", "E", "F"].iter().enumerate() {
+            t.insert(&mut ctx, k, i as u64);
+        }
+        for (i, k) in ["A", "B", "C", "D", "E", "F"].iter().enumerate() {
+            assert_eq!(t.search(&mut ctx, k), Some(i as u64));
+        }
+        drop(ctx);
+        t.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn dump_shows_structure() {
+        let (mut t, rec) = tree(2);
+        let mut ctx = rec.begin_txn("T1");
+        for k in ["A", "B", "C", "D", "E"] {
+            t.insert(&mut ctx, k, 0);
+        }
+        drop(ctx);
+        let d = t.dump();
+        assert!(d.contains("Node"));
+        assert!(d.contains("Leaf"));
+        assert!(d.contains("->N"), "B-links rendered: {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_pool_rejected() {
+        let rec = Recorder::new();
+        let pool = BufferPool::new(16, 64);
+        let _ = BLinkTree::create(pool, rec, "T", 16);
+    }
+}

@@ -1,0 +1,269 @@
+//! Compensation-based abort for open nested transactions.
+//!
+//! Open nesting trades recoverability for concurrency: a subtransaction's
+//! low-level (page) effects become visible to other transactions the
+//! moment it commits, so a later abort of the *enclosing* transaction
+//! cannot restore before-images — other transactions may have built on
+//! the state. The standard remedy (Moss, Weikum/Schek; the paper's ref. 19)
+//! is **semantic compensation**: for every committed subtransaction the
+//! system logs an inverse action (`insert(k)` ⇢ `delete(k)`,
+//! `deposit(n)` ⇢ `withdraw(n)`, an item write ⇢ a write of the previous
+//! text), and abort executes the inverses in reverse order as a fresh
+//! top-level *compensation transaction* — which the ordinary
+//! concurrency machinery serializes like any other transaction.
+//!
+//! This module provides the protocol-agnostic pieces:
+//!
+//! * [`Inverse`] — how to undo one committed action;
+//! * [`CompensationLog`] — per-transaction stacks of inverses;
+//! * [`InverseRegistry`] — deriving inverses from action descriptors for
+//!   the common method families (keyed containers, escrow counters).
+//!
+//! Executors (the encyclopedia, the object model) register inverses while
+//! running and apply them through their own mutation paths on abort, so
+//! compensation is itself recorded and checked.
+//!
+//! ```
+//! use oodb_core::compensation::{CompensationLog, Inverse, InverseRegistry};
+//! use oodb_core::commutativity::ActionDescriptor;
+//! use oodb_core::value::key;
+//!
+//! let reg = InverseRegistry::new();
+//! let fwd = ActionDescriptor::new("insert", vec![key("DBS")]);
+//! let inv = reg.invert(&fwd, None).unwrap();
+//! assert_eq!(inv.method, "delete");
+//!
+//! let mut log = CompensationLog::new();
+//! log.push(1, Inverse::new("Enc", inv));
+//! let plan = log.abort_plan(1);       // reverse commit order
+//! assert_eq!(plan.len(), 1);
+//! ```
+
+use crate::commutativity::ActionDescriptor;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Signature of a custom inverse builder: forward descriptor + saved
+/// state → inverse descriptor (or `None` = not invertible).
+pub type InverseFn = fn(&ActionDescriptor, Option<&Value>) -> Option<ActionDescriptor>;
+
+/// A compensating action: the descriptor to apply on some object, plus
+/// the payload needed to rebuild state (e.g. the overwritten item text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inverse {
+    /// Name of the object the compensation targets.
+    pub object: String,
+    /// The inverse operation.
+    pub descriptor: ActionDescriptor,
+    /// Saved state the inverse needs (previous value, removed payload…).
+    pub payload: Option<Value>,
+}
+
+impl Inverse {
+    /// Build an inverse.
+    pub fn new(object: impl Into<String>, descriptor: ActionDescriptor) -> Self {
+        Inverse {
+            object: object.into(),
+            descriptor,
+            payload: None,
+        }
+    }
+
+    /// Attach saved state.
+    pub fn with_payload(mut self, payload: Value) -> Self {
+        self.payload = Some(payload);
+        self
+    }
+}
+
+/// Per-transaction compensation stacks. Inverses are pushed as
+/// subtransactions commit and popped in reverse on abort (the classic
+/// saga/compensation order).
+#[derive(Debug, Default)]
+pub struct CompensationLog {
+    stacks: HashMap<u32, Vec<Inverse>>,
+}
+
+impl CompensationLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that transaction `txn` committed a subtransaction whose
+    /// effect `inverse` undoes.
+    pub fn push(&mut self, txn: u32, inverse: Inverse) {
+        self.stacks.entry(txn).or_default().push(inverse);
+    }
+
+    /// Number of pending inverses for `txn`.
+    pub fn pending(&self, txn: u32) -> usize {
+        self.stacks.get(&txn).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Take the compensation plan for an aborting transaction: the
+    /// inverses in reverse commit order. The log entry is consumed.
+    pub fn abort_plan(&mut self, txn: u32) -> Vec<Inverse> {
+        let mut v = self.stacks.remove(&txn).unwrap_or_default();
+        v.reverse();
+        v
+    }
+
+    /// Discard the log of a committing transaction (its effects stand).
+    pub fn commit(&mut self, txn: u32) {
+        self.stacks.remove(&txn);
+    }
+}
+
+/// Derives inverses for the standard method families. Custom executors
+/// can register additional rules by method name.
+#[derive(Debug, Default)]
+pub struct InverseRegistry {
+    custom: HashMap<String, InverseFn>,
+}
+
+impl InverseRegistry {
+    /// Registry with the built-in rules.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a custom inverse builder for `method`.
+    pub fn register(&mut self, method: impl Into<String>, f: InverseFn) {
+        self.custom.insert(method.into(), f);
+    }
+
+    /// Derive the inverse descriptor of `d`. `saved` carries state
+    /// captured before the forward action (previous value, overwritten
+    /// text). Returns `None` for actions with no effect to undo (reads)
+    /// and for methods without a known inverse (caller must then fall
+    /// back to forbidding early release — i.e. closed nesting).
+    pub fn invert(
+        &self,
+        d: &ActionDescriptor,
+        saved: Option<&Value>,
+    ) -> Option<ActionDescriptor> {
+        if let Some(f) = self.custom.get(&d.method) {
+            return f(d, saved);
+        }
+        match d.method.as_str() {
+            // keyed containers
+            "insert" => Some(ActionDescriptor::new("delete", d.args.clone())),
+            "delete" => {
+                // need the removed payload to reinsert
+                let mut args = d.args.clone();
+                if let Some(v) = saved {
+                    args.push(v.clone());
+                }
+                Some(ActionDescriptor::new("insert", args))
+            }
+            "update" => {
+                // rewrite the previous value
+                let mut args = d.args.clone();
+                if let Some(v) = saved {
+                    args.push(v.clone());
+                }
+                Some(ActionDescriptor::new("update", args))
+            }
+            // escrow counters
+            "deposit" => Some(ActionDescriptor::new("withdraw", d.args.clone())),
+            "withdraw" => Some(ActionDescriptor::new("deposit", d.args.clone())),
+            // reads need no compensation
+            "read" | "search" | "balance" | "readSeq" => None,
+            _ => None,
+        }
+    }
+
+    /// True iff the method has a known inverse or needs none.
+    pub fn is_compensable(&self, d: &ActionDescriptor) -> bool {
+        match d.method.as_str() {
+            "read" | "search" | "balance" | "readSeq" => true,
+            _ => self.invert(d, Some(&Value::Unit)).is_some(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::key;
+
+    #[test]
+    fn log_replays_in_reverse() {
+        let mut log = CompensationLog::new();
+        log.push(1, Inverse::new("A", ActionDescriptor::nullary("x1")));
+        log.push(1, Inverse::new("B", ActionDescriptor::nullary("x2")));
+        log.push(2, Inverse::new("C", ActionDescriptor::nullary("y1")));
+        assert_eq!(log.pending(1), 2);
+        let plan = log.abort_plan(1);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].descriptor.method, "x2");
+        assert_eq!(plan[1].descriptor.method, "x1");
+        assert_eq!(log.pending(1), 0);
+        // txn 2 unaffected
+        assert_eq!(log.pending(2), 1);
+        log.commit(2);
+        assert_eq!(log.pending(2), 0);
+        assert!(log.abort_plan(2).is_empty());
+    }
+
+    #[test]
+    fn builtin_inverses() {
+        let reg = InverseRegistry::new();
+        let ins = ActionDescriptor::new("insert", vec![key("DBS")]);
+        assert_eq!(
+            reg.invert(&ins, None).unwrap(),
+            ActionDescriptor::new("delete", vec![key("DBS")])
+        );
+        let del = ActionDescriptor::new("delete", vec![key("DBS")]);
+        let inv = reg.invert(&del, Some(&Value::Str("old text".into()))).unwrap();
+        assert_eq!(inv.method, "insert");
+        assert_eq!(inv.args.len(), 2);
+        let dep = ActionDescriptor::new("deposit", vec![Value::Int(5)]);
+        assert_eq!(reg.invert(&dep, None).unwrap().method, "withdraw");
+        let wd = ActionDescriptor::new("withdraw", vec![Value::Int(5)]);
+        assert_eq!(reg.invert(&wd, None).unwrap().method, "deposit");
+    }
+
+    #[test]
+    fn reads_need_no_compensation() {
+        let reg = InverseRegistry::new();
+        for m in ["read", "search", "balance", "readSeq"] {
+            assert!(reg.invert(&ActionDescriptor::nullary(m), None).is_none());
+            assert!(reg.is_compensable(&ActionDescriptor::nullary(m)));
+        }
+    }
+
+    #[test]
+    fn unknown_methods_are_not_compensable() {
+        let reg = InverseRegistry::new();
+        let d = ActionDescriptor::nullary("frobnicate");
+        assert!(reg.invert(&d, None).is_none());
+        assert!(!reg.is_compensable(&d));
+    }
+
+    #[test]
+    fn custom_rules_override() {
+        let mut reg = InverseRegistry::new();
+        fn inv(_: &ActionDescriptor, _: Option<&Value>) -> Option<ActionDescriptor> {
+            Some(ActionDescriptor::nullary("defrobnicate"))
+        }
+        reg.register("frobnicate", inv);
+        assert_eq!(
+            reg.invert(&ActionDescriptor::nullary("frobnicate"), None)
+                .unwrap()
+                .method,
+            "defrobnicate"
+        );
+        assert!(reg.is_compensable(&ActionDescriptor::nullary("frobnicate")));
+    }
+
+    #[test]
+    fn update_inverse_carries_previous_value() {
+        let reg = InverseRegistry::new();
+        let upd = ActionDescriptor::new("update", vec![key("DBMS")]);
+        let inv = reg.invert(&upd, Some(&Value::Str("v1".into()))).unwrap();
+        assert_eq!(inv.method, "update");
+        assert_eq!(inv.args[1], Value::Str("v1".into()));
+    }
+}

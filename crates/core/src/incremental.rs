@@ -1,0 +1,247 @@
+//! Incremental dependency maintenance.
+//!
+//! [`crate::schedule::SystemSchedules::infer`] recomputes the fixpoint
+//! from scratch — fine for post-hoc analysis, wasteful for an online
+//! scheduler that revalidates after every operation (the cost experiment
+//! B4 shows the superlinear growth). [`IncrementalSchedules`] maintains
+//! the same relations **edge by edge**: when a primitive executes, its
+//! new Axiom 1 orderings are seeded and the Definition 10/11/15 lifting
+//! runs as a worklist from just those edges. The result is identical to
+//! batch inference (property-tested) at amortized cost proportional to
+//! the *new* dependencies, not to the whole history.
+//!
+//! Limitation: the Definition 5 virtual-object extension rewrites the
+//! transaction system and re-seeds from execution footprints; incremental
+//! maintenance therefore requires call-path-cycle-free systems (assert at
+//! seed time, or run [`crate::extension::extend_virtual_objects`] *before*
+//! execution starts if tree shapes are known). The live substrates record
+//! cycles only through B-link rearrangements, which the batch path covers.
+
+use crate::graph::DiGraph;
+use crate::ids::{ActionIdx, ObjectIdx};
+use crate::schedule::{ObjectSchedule, SystemSchedules};
+use crate::system::TransactionSystem;
+use std::collections::HashSet;
+
+/// Incrementally maintained per-object dependency relations.
+#[derive(Debug, Default)]
+pub struct IncrementalSchedules {
+    /// Per object (by index): the three relations.
+    action_deps: Vec<DiGraph<ActionIdx>>,
+    txn_deps: Vec<DiGraph<ActionIdx>>,
+    added_deps: Vec<DiGraph<ActionIdx>>,
+    added_seen: HashSet<(ActionIdx, ActionIdx)>,
+    /// Executed primitives per object, in execution order.
+    executed: Vec<Vec<ActionIdx>>,
+    /// Top-level dependency graph (action deps of the system object,
+    /// mirrored for cheap certifier access).
+    top: DiGraph<ActionIdx>,
+}
+
+impl IncrementalSchedules {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_objects(&mut self, ts: &TransactionSystem) {
+        while self.action_deps.len() < ts.object_count() {
+            self.action_deps.push(DiGraph::new());
+            self.txn_deps.push(DiGraph::new());
+            self.added_deps.push(DiGraph::new());
+            self.executed.push(Vec::new());
+        }
+    }
+
+    /// Record that primitive `p` has just executed (it must be the newest
+    /// event — feed primitives in history order).
+    pub fn on_primitive(&mut self, ts: &TransactionSystem, p: ActionIdx) {
+        debug_assert!(ts.action(p).is_primitive(), "only primitives execute");
+        debug_assert!(
+            !has_call_path_cycle(ts, p),
+            "incremental maintenance requires Definition 5 extension first"
+        );
+        self.ensure_objects(ts);
+        let o = ts.action(p).object;
+        let oi = o.as_usize();
+        // seed: every earlier conflicting primitive on this object orders
+        // before p (Axiom 1)
+        let earlier = self.executed[oi].clone();
+        for q in earlier {
+            if ts.conflicts(q, p) {
+                self.add_action_dep(ts, o, q, p);
+            }
+        }
+        self.executed[oi].push(p);
+    }
+
+    /// Add an action dependency and run the lift/inherit worklist.
+    fn add_action_dep(&mut self, ts: &TransactionSystem, o: ObjectIdx, from: ActionIdx, to: ActionIdx) {
+        self.ensure_objects(ts);
+        if !self.action_deps[o.as_usize()].add_edge(from, to) {
+            return; // already known: nothing new can follow from it
+        }
+        if o == ts.system_object() {
+            self.top.add_edge(from, to);
+        }
+        // Definition 10: lift to callers if the endpoints conflict
+        if !ts.conflicts(from, to) {
+            return;
+        }
+        let (Some(t), Some(u)) = (ts.action(from).parent, ts.action(to).parent) else {
+            return;
+        };
+        if t == u {
+            return;
+        }
+        if !self.txn_deps[o.as_usize()].add_edge(t, u) {
+            return;
+        }
+        let (qt, qu) = (ts.action(t).object, ts.action(u).object);
+        if qt == qu {
+            // Definition 11: inherit at the callers' object
+            self.add_action_dep(ts, qt, t, u);
+        } else if self.added_seen.insert((t, u)) {
+            // Definition 15: record at both endpoint objects
+            self.added_deps[qt.as_usize()].add_edge(t, u);
+            self.added_deps[qu.as_usize()].add_edge(t, u);
+        }
+    }
+
+    /// The maintained action dependency relation of `o`.
+    pub fn action_deps(&self, o: ObjectIdx) -> Option<&DiGraph<ActionIdx>> {
+        self.action_deps.get(o.as_usize())
+    }
+
+    /// The maintained caller (transaction) dependency relation of `o`.
+    pub fn txn_deps(&self, o: ObjectIdx) -> Option<&DiGraph<ActionIdx>> {
+        self.txn_deps.get(o.as_usize())
+    }
+
+    /// The maintained added relation of `o`.
+    pub fn added_deps(&self, o: ObjectIdx) -> Option<&DiGraph<ActionIdx>> {
+        self.added_deps.get(o.as_usize())
+    }
+
+    /// Dependencies among top-level transactions, maintained inline
+    /// (cheap `MustWait` checks for the certifier).
+    pub fn top_level_deps(&self) -> &DiGraph<ActionIdx> {
+        &self.top
+    }
+
+    /// Compare against batch inference (test/diagnostic helper): true iff
+    /// every relation matches exactly.
+    pub fn matches_batch(&self, ts: &TransactionSystem, batch: &SystemSchedules) -> bool {
+        for o in ts.object_indices() {
+            let b: &ObjectSchedule = batch.schedule(o);
+            let empty = DiGraph::new();
+            let a_act = self.action_deps.get(o.as_usize()).unwrap_or(&empty);
+            let a_txn = self.txn_deps.get(o.as_usize()).unwrap_or(&empty);
+            let a_add = self.added_deps.get(o.as_usize()).unwrap_or(&empty);
+            if !graph_eq(a_act, &b.action_deps)
+                || !graph_eq(a_txn, &b.txn_deps)
+                || !graph_eq(a_add, &b.added_deps)
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn graph_eq(a: &DiGraph<ActionIdx>, b: &DiGraph<ActionIdx>) -> bool {
+    a.edge_count() == b.edge_count() && a.edges().all(|(f, t)| b.has_edge(f, t))
+}
+
+/// Does any proper ancestor of `p` access `p`'s object (an unextended
+/// Definition 5 situation)?
+fn has_call_path_cycle(ts: &TransactionSystem, p: ActionIdx) -> bool {
+    let o = ts.action(p).object;
+    let mut cur = ts.action(p).parent;
+    while let Some(anc) = cur {
+        if ts.action(anc).object == o {
+            return true;
+        }
+        cur = ts.action(anc).parent;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commutativity::{ActionDescriptor, KeyedSpec, ReadWriteSpec};
+    use crate::history::History;
+    use crate::value::key;
+    use std::sync::Arc;
+
+    fn desc(m: &str) -> ActionDescriptor {
+        ActionDescriptor::nullary(m)
+    }
+
+    /// The Example 1 shapes again, driven incrementally.
+    fn example_system() -> (TransactionSystem, Vec<ActionIdx>) {
+        let mut ts = TransactionSystem::new();
+        let leaf = ts.add_object("Leaf", Arc::new(KeyedSpec::search_structure("leaf")));
+        let p = ts.add_object("PageA", Arc::new(ReadWriteSpec));
+        let q = ts.add_object("PageB", Arc::new(ReadWriteSpec));
+        let mut prims = Vec::new();
+        for (n, k) in [("T1", "K"), ("T2", "K"), ("T3", "L")] {
+            let mut b = ts.txn(n);
+            b.call(leaf, ActionDescriptor::new("insert", vec![key(k)]));
+            prims.push(b.leaf(p, desc("write")));
+            prims.push(b.leaf(q, desc("write")));
+            b.end();
+            b.finish();
+        }
+        (ts, prims)
+    }
+
+    #[test]
+    fn incremental_equals_batch_on_full_replay() {
+        let (ts, prims) = example_system();
+        // an interleaved order
+        let order = vec![
+            prims[0], prims[2], prims[4], prims[1], prims[3], prims[5],
+        ];
+        let h = History::from_order(&ts, &order).unwrap();
+        let batch = SystemSchedules::infer(&ts, &h);
+        let mut inc = IncrementalSchedules::new();
+        for &p in &order {
+            inc.on_primitive(&ts, p);
+        }
+        assert!(inc.matches_batch(&ts, &batch));
+    }
+
+    #[test]
+    fn top_level_deps_maintained_inline() {
+        let (ts, prims) = example_system();
+        let mut inc = IncrementalSchedules::new();
+        // T1 fully before T2 (same key K): top edge T1 -> T2 appears
+        for &p in &[prims[0], prims[1], prims[2], prims[3]] {
+            inc.on_primitive(&ts, p);
+        }
+        let tops = ts.top_level();
+        assert!(inc.top_level_deps().has_edge(&tops[0], &tops[1]));
+        assert!(!inc.top_level_deps().has_edge(&tops[1], &tops[0]));
+        // T3 (different key) stays unordered
+        inc.on_primitive(&ts, prims[4]);
+        inc.on_primitive(&ts, prims[5]);
+        assert!(!inc.top_level_deps().contains_node(&tops[2]) ||
+            inc.top_level_deps().successors(&tops[2]).count() == 0);
+    }
+
+    #[test]
+    fn duplicate_edges_terminate_quickly() {
+        let (ts, prims) = example_system();
+        let mut inc = IncrementalSchedules::new();
+        for &p in &prims {
+            inc.on_primitive(&ts, p);
+        }
+        // feeding an artificial duplicate action dep is a no-op
+        let o = ts.action(prims[0]).object;
+        let before = inc.action_deps(o).unwrap().edge_count();
+        inc.add_action_dep(&ts, o, prims[0], prims[2]);
+        assert_eq!(inc.action_deps(o).unwrap().edge_count(), before);
+    }
+}

@@ -1,0 +1,122 @@
+//! Method-argument values.
+//!
+//! The paper writes messages as `O.m(parameters)` and lets commutativity
+//! depend on parameter values (e.g. `insert(DBS)` commutes with
+//! `insert(DBMS)` on a B⁺-tree node because the keys differ). [`Value`] is
+//! the small dynamic value type those parameters are drawn from.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dynamically typed method argument.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// No payload.
+    Unit,
+    /// Boolean flag.
+    Bool(bool),
+    /// Signed integer (amounts, counts, page numbers).
+    Int(i64),
+    /// A search/index key (the `DBS` / `DBMS` of the paper's examples).
+    Key(String),
+    /// Free-form string payload.
+    Str(String),
+}
+
+impl Value {
+    /// The key payload, if this value is a [`Value::Key`].
+    pub fn as_key(&self) -> Option<&str> {
+        match self {
+            Value::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this value is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string payload of either a [`Value::Str`] or a [`Value::Key`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Key(k) => write!(f, "{k}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Convenience constructor for key arguments.
+pub fn key(k: impl Into<String>) -> Value {
+    Value::Key(k.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(key("DBS").as_key(), Some("DBS"));
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Key("k".into()).as_str(), Some("k"));
+        assert_eq!(Value::Unit.as_key(), None);
+        assert_eq!(Value::Bool(true).as_int(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(key("DBS").to_string(), "DBS");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::Str("hi".into()).to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+    }
+}

@@ -1,0 +1,501 @@
+//! Property-based tests for the core oo-serializability machinery.
+//!
+//! The central properties:
+//! * every built-in commutativity spec is symmetric;
+//! * serial histories pass every checker (soundness floor);
+//! * conventional conflict serializability implies oo-serializability
+//!   (the paper's inclusion claim, Definition 16 vs the flat baseline);
+//! * the graph algorithms agree with brute force on small graphs;
+//! * dependency inference is deterministic.
+
+use oodb_core::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Random system + history generation
+// ---------------------------------------------------------------------
+
+/// Blueprint for one leaf-level call of a transaction.
+#[derive(Debug, Clone)]
+struct CallPlan {
+    leaf: usize,
+    method: usize, // 0 = insert, 1 = search, 2 = delete
+    key: usize,
+    pages: Vec<(usize, bool)>, // (page index, is_write)
+}
+
+#[derive(Debug, Clone)]
+struct SystemPlan {
+    n_leaves: usize,
+    n_pages: usize,
+    txns: Vec<Vec<CallPlan>>,
+    /// permutation seed for the interleaving
+    shuffle: Vec<u32>,
+}
+
+fn call_plan(n_leaves: usize, n_pages: usize) -> impl Strategy<Value = CallPlan> {
+    (
+        0..n_leaves,
+        0..3usize,
+        0..4usize,
+        prop::collection::vec((0..n_pages, any::<bool>()), 1..3),
+    )
+        .prop_map(|(leaf, method, key, pages)| CallPlan {
+            leaf,
+            method,
+            key,
+            pages,
+        })
+}
+
+fn system_plan() -> impl Strategy<Value = SystemPlan> {
+    (2..4usize, 2..4usize)
+        .prop_flat_map(|(n_leaves, n_pages)| {
+            (
+                Just(n_leaves),
+                Just(n_pages),
+                prop::collection::vec(
+                    prop::collection::vec(call_plan(n_leaves, n_pages), 1..3),
+                    2..4,
+                ),
+                prop::collection::vec(any::<u32>(), 32),
+            )
+        })
+        .prop_map(|(n_leaves, n_pages, txns, shuffle)| SystemPlan {
+            n_leaves,
+            n_pages,
+            txns,
+            shuffle,
+        })
+}
+
+const METHODS: [&str; 3] = ["insert", "search", "delete"];
+const KEYS: [&str; 4] = ["DBS", "DBMS", "OODB", "IRS"];
+
+fn build(plan: &SystemPlan) -> (TransactionSystem, Vec<Vec<ActionIdx>>) {
+    let mut ts = TransactionSystem::new();
+    let leaves: Vec<ObjectIdx> = (0..plan.n_leaves)
+        .map(|i| ts.add_object(format!("Leaf{i}"), Arc::new(KeyedSpec::search_structure("leaf"))))
+        .collect();
+    let pages: Vec<ObjectIdx> = (0..plan.n_pages)
+        .map(|i| ts.add_object(format!("Page{i}"), Arc::new(ReadWriteSpec)))
+        .collect();
+    let mut prims_per_txn = Vec::new();
+    for (ti, calls) in plan.txns.iter().enumerate() {
+        let mut prims = Vec::new();
+        let mut b = ts.txn(format!("T{}", ti + 1));
+        for c in calls {
+            b.call(
+                leaves[c.leaf],
+                ActionDescriptor::new(METHODS[c.method], vec![key(KEYS[c.key])]),
+            );
+            for &(p, w) in &c.pages {
+                prims.push(b.leaf(
+                    pages[p],
+                    ActionDescriptor::nullary(if w { "write" } else { "read" }),
+                ));
+            }
+            b.end();
+        }
+        b.finish();
+        prims_per_txn.push(prims);
+    }
+    (ts, prims_per_txn)
+}
+
+/// Deterministically interleave the per-transaction primitive streams
+/// using the shuffle words as choices, preserving each transaction's
+/// internal (programmed) order so histories conform.
+fn interleave(prims: &[Vec<ActionIdx>], shuffle: &[u32]) -> Vec<ActionIdx> {
+    let mut cursors = vec![0usize; prims.len()];
+    let mut out = Vec::new();
+    let mut si = 0usize;
+    loop {
+        let live: Vec<usize> = (0..prims.len())
+            .filter(|&i| cursors[i] < prims[i].len())
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let pick = live[shuffle[si % shuffle.len()] as usize % live.len()];
+        si += 1;
+        out.push(prims[pick][cursors[pick]]);
+        cursors[pick] += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Commutativity specs
+// ---------------------------------------------------------------------
+
+fn descriptor() -> impl Strategy<Value = ActionDescriptor> {
+    (
+        prop::sample::select(vec![
+            "read", "write", "insert", "delete", "search", "update", "readSeq", "deposit",
+            "withdraw", "balance", "mystery",
+        ]),
+        prop::option::of(prop::sample::select(KEYS.to_vec())),
+    )
+        .prop_map(|(m, k)| {
+            let args = match k {
+                Some(k) => vec![key(k)],
+                None => vec![],
+            };
+            ActionDescriptor::new(m, args)
+        })
+}
+
+proptest! {
+    #[test]
+    fn specs_are_symmetric(a in descriptor(), b in descriptor()) {
+        let specs: Vec<SpecRef> = vec![
+            Arc::new(ReadWriteSpec),
+            Arc::new(KeyedSpec::search_structure("s")),
+            Arc::new(EscrowSpec::unbounded()),
+            Arc::new(EscrowSpec::bounded()),
+            Arc::new(MatrixSpec::new("m").commuting("read", "read")),
+            Arc::new(RangeSpec::ordered_container("r")),
+            Arc::new(AllCommute),
+            Arc::new(AllConflict),
+        ];
+        for s in &specs {
+            prop_assert_eq!(
+                s.commutes(&a, &b),
+                s.commutes(&b, &a),
+                "spec {} asymmetric on {} / {}", s.name(), &a, &b
+            );
+        }
+    }
+
+    #[test]
+    fn serial_histories_pass_all_checkers(plan in system_plan()) {
+        let (ts, _) = build(&plan);
+        for h in History::all_serial(&ts) {
+            let r = analyze(&ts, &h);
+            prop_assert!(r.oo_decentralized.is_ok(), "{:?}", r.oo_decentralized);
+            prop_assert!(r.oo_global.is_ok(), "{:?}", r.oo_global);
+            prop_assert!(r.conventional.is_ok(), "{:?}", r.conventional);
+            prop_assert!(r.multilevel.is_ok(), "{:?}", r.multilevel);
+            prop_assert!(h.is_serial(&ts));
+            prop_assert!(h.check_conform(&ts).is_ok());
+        }
+    }
+
+    /// The paper's inclusion: conventionally serializable ⟹ oo-serializable.
+    #[test]
+    fn conventional_sr_implies_oo_sr(plan in system_plan()) {
+        let (ts, prims) = build(&plan);
+        let order = interleave(&prims, &plan.shuffle);
+        let h = History::from_order(&ts, &order).unwrap();
+        let r = analyze(&ts, &h);
+        if r.conventional.is_ok() {
+            prop_assert!(
+                r.oo_global.is_ok(),
+                "conventional accepted but oo-global rejected: {:?}",
+                r.oo_global
+            );
+            prop_assert!(
+                r.oo_decentralized.is_ok(),
+                "conventional accepted but oo-decentralized rejected: {:?}",
+                r.oo_decentralized
+            );
+        }
+        // interleavings produced by `interleave` preserve programmed order
+        prop_assert!(h.check_conform(&ts).is_ok());
+    }
+
+    /// The strengthened global check only ever *adds* rejections on top
+    /// of the paper's decentralized Definition 16: global-accept implies
+    /// decentralized-accept by construction, and a decentralized
+    /// rejection is always a global rejection.
+    #[test]
+    fn global_check_strengthens_decentralized(plan in system_plan()) {
+        let (ts, prims) = build(&plan);
+        let order = interleave(&prims, &plan.shuffle);
+        let h = History::from_order(&ts, &order).unwrap();
+        let r = analyze(&ts, &h);
+        if r.oo_global.is_ok() {
+            prop_assert!(r.oo_decentralized.is_ok());
+        }
+        if r.oo_decentralized.is_err() {
+            prop_assert!(r.oo_global.is_err());
+        }
+    }
+
+    #[test]
+    fn inference_is_deterministic(plan in system_plan()) {
+        let (ts, prims) = build(&plan);
+        let order = interleave(&prims, &plan.shuffle);
+        let h = History::from_order(&ts, &order).unwrap();
+        let s1 = SystemSchedules::infer(&ts, &h);
+        let s2 = SystemSchedules::infer(&ts, &h);
+        prop_assert!(s1.equivalent(&s2));
+        for o in ts.object_indices() {
+            let a1 = &s1.schedule(o).action_deps;
+            let a2 = &s2.schedule(o).action_deps;
+            prop_assert_eq!(a1.edge_count(), a2.edge_count());
+            for (f, t) in a1.edges() {
+                prop_assert!(a2.has_edge(f, t));
+            }
+        }
+    }
+
+    /// Acyclicity of the per-object caller dependency relation coincides
+    /// with the literal "equivalent serial object schedule exists"
+    /// (Definition 13 (i) with Definition 8's caller-level serial
+    /// notion), checked by brute-force enumeration of caller orders.
+    #[test]
+    fn caller_acyclicity_iff_equivalent_serial(plan in system_plan()) {
+        let (ts, prims) = build(&plan);
+        let order = interleave(&prims, &plan.shuffle);
+        let h = History::from_order(&ts, &order).unwrap();
+        let ss = SystemSchedules::infer(&ts, &h);
+        for o in ts.object_indices() {
+            let acyclic = ss.schedule(o).txn_deps.find_cycle().is_none();
+            let brute =
+                oodb_core::serializability::exists_equivalent_serial_bruteforce(&ts, &ss, o);
+            prop_assert_eq!(acyclic, brute, "object {}", ts.object(o).name.clone());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graph algorithms vs brute force
+// ---------------------------------------------------------------------
+
+fn small_graph() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec((0..6u8, 0..6u8), 0..15)
+}
+
+/// Brute-force cycle detection: DFS from every node looking for a path
+/// back to itself.
+fn brute_has_cycle(edges: &[(u8, u8)]) -> bool {
+    let nodes: Vec<u8> = {
+        let mut v: Vec<u8> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    for &start in &nodes {
+        // can we return to start?
+        let mut stack = vec![start];
+        let mut seen = Vec::new();
+        while let Some(v) = stack.pop() {
+            for &(a, b) in edges {
+                if a == v {
+                    if b == start {
+                        return true;
+                    }
+                    if !seen.contains(&b) {
+                        seen.push(b);
+                        stack.push(b);
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #[test]
+    fn cycle_detection_matches_bruteforce(edges in small_graph()) {
+        let mut g = DiGraph::new();
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        prop_assert_eq!(g.has_cycle(), brute_has_cycle(&edges));
+        // topo sort exists iff acyclic
+        prop_assert_eq!(g.topo_sort().is_some(), !g.has_cycle());
+    }
+
+    #[test]
+    fn topo_sort_respects_all_edges(edges in small_graph()) {
+        let mut g = DiGraph::new();
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        if let Some(order) = g.topo_sort() {
+            let pos = |x: u8| order.iter().position(|&y| y == x).unwrap();
+            for &(a, b) in &edges {
+                prop_assert!(pos(a) < pos(b), "edge {}->{} violated", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_witness_is_genuine(edges in small_graph()) {
+        let mut g = DiGraph::new();
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        if let Some(cycle) = g.find_cycle() {
+            for w in cycle.windows(2) {
+                prop_assert!(g.has_edge(&w[0], &w[1]));
+            }
+            prop_assert!(g.has_edge(cycle.last().unwrap(), &cycle[0]));
+        }
+    }
+
+    #[test]
+    fn closure_matches_reachability(edges in small_graph()) {
+        let mut g = DiGraph::new();
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        let tc = g.transitive_closure();
+        let nodes: Vec<u8> = g.nodes().copied().collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                let i = g.index_of(&a).unwrap();
+                let j = g.index_of(&b).unwrap();
+                prop_assert_eq!(tc.reaches(i, j), g.is_reachable(&a, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn sccs_partition_and_are_strongly_connected(edges in small_graph()) {
+        let mut g = DiGraph::new();
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        let sccs = g.tarjan_scc();
+        // partition: every node in exactly one component
+        let mut all: Vec<u8> = sccs.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut expected: Vec<u8> = g.nodes().copied().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(all, expected);
+        // strong connectivity within each component of size > 1
+        for comp in &sccs {
+            if comp.len() > 1 {
+                for &a in comp {
+                    for &b in comp {
+                        if a != b {
+                            prop_assert!(g.is_reachable(&a, &b));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layered systems: the paper's claim that oo-serializability includes
+// multi-layer serializability — on strictly layered call structures the
+// two verdicts coincide.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn multilevel_equals_global_on_layered_systems(plan in system_plan()) {
+        // the generated systems are strictly layered: depth 1 = roots on
+        // S, depth 2 = leaf-object calls, depth 3 = page primitives. On
+        // layered systems every dependency edge connects same-depth
+        // actions, so the whole-system graph decomposes into the
+        // per-level graphs: the strengthened global check and Weikum's
+        // multilevel check coincide, and both imply the paper's
+        // decentralized check (the converse fails only in the
+        // added-relation gap).
+        let (ts, prims) = build(&plan);
+        let order = interleave(&prims, &plan.shuffle);
+        let h = History::from_order(&ts, &order).unwrap();
+        let r = analyze(&ts, &h);
+        prop_assert_eq!(
+            r.oo_global.is_ok(),
+            r.multilevel.is_ok(),
+            "layered: global {:?} vs multilevel {:?}",
+            r.oo_global,
+            r.multilevel
+        );
+        if r.multilevel.is_ok() {
+            prop_assert!(r.oo_decentralized.is_ok());
+        }
+    }
+
+    /// Histories recorded with per-transaction sequential programs always
+    /// conform (Definition 7) — and deliberately reordering two
+    /// program-ordered primitives breaks conformance.
+    #[test]
+    fn conformance_matches_program_order(plan in system_plan()) {
+        let (ts, prims) = build(&plan);
+        let order = interleave(&prims, &plan.shuffle);
+        let h = History::from_order(&ts, &order).unwrap();
+        prop_assert!(h.check_conform(&ts).is_ok());
+        // swap the first transaction's first two primitives if it has two
+        if let Some(row) = prims.iter().find(|r| r.len() >= 2) {
+            let mut bad = order.clone();
+            let i = bad.iter().position(|a| *a == row[0]).unwrap();
+            let j = bad.iter().position(|a| *a == row[1]).unwrap();
+            bad.swap(i, j);
+            let hb = History::from_order(&ts, &bad).unwrap();
+            prop_assert!(hb.check_conform(&ts).is_err());
+        }
+    }
+
+    /// On schedules whose top-level dependencies are acyclic, the
+    /// certifier commits every transaction: `MustWait` answers resolve by
+    /// retrying in any order (the waits follow the acyclic dependency
+    /// graph) and no validation ever fails.
+    #[test]
+    fn certifier_commits_everything_on_serializable_schedules(plan in system_plan()) {
+        use oodb_core::certifier::{Certifier, CertifierMode, CommitOutcome};
+        let (ts, prims) = build(&plan);
+        let order = interleave(&prims, &plan.shuffle);
+        let h = History::from_order(&ts, &order).unwrap();
+        if analyze(&ts, &h).oo_decentralized.is_ok() {
+            let mut cert = Certifier::new(CertifierMode::Paper);
+            let mut pending: Vec<u32> = (0..ts.top_level().len() as u32).collect();
+            let mut rounds = 0usize;
+            while !pending.is_empty() {
+                rounds += 1;
+                prop_assert!(rounds <= ts.top_level().len() + 1, "wait livelock");
+                let mut next = Vec::new();
+                for &t in &pending {
+                    match cert.try_commit(&ts, &h, TxnIdx(t)) {
+                        CommitOutcome::Committed => {}
+                        CommitOutcome::MustWait { .. } => next.push(t),
+                        CommitOutcome::MustAbort(v) => {
+                            return Err(TestCaseError::fail(format!(
+                                "txn {t} aborted on serializable schedule: {v:?}"
+                            )))
+                        }
+                    }
+                }
+                pending = next;
+            }
+            prop_assert_eq!(cert.stats.aborts, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental maintenance equals batch inference on cycle-free systems.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn incremental_equals_batch(plan in system_plan()) {
+        use oodb_core::incremental::IncrementalSchedules;
+        let (ts, prims) = build(&plan);
+        let order = interleave(&prims, &plan.shuffle);
+        let h = History::from_order(&ts, &order).unwrap();
+        let batch = SystemSchedules::infer(&ts, &h);
+        let mut inc = IncrementalSchedules::new();
+        for &p in &order {
+            inc.on_primitive(&ts, p);
+        }
+        prop_assert!(inc.matches_batch(&ts, &batch));
+        // the inline top-level graph equals the batch one
+        let top_batch = batch.top_level_deps(&ts);
+        let top_inc = inc.top_level_deps();
+        prop_assert_eq!(top_batch.edge_count(), top_inc.edge_count());
+        for (f, t) in top_batch.edges() {
+            prop_assert!(top_inc.has_edge(f, t));
+        }
+    }
+}

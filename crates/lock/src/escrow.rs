@@ -1,0 +1,201 @@
+//! Escrow locking for numeric resources (O'Neil's escrow method, which
+//! the paper cites as the technique that "includes parameter values and
+//! the status of accessed objects in the commutativity definition").
+//!
+//! An [`EscrowAccount`] tracks, besides the committed balance, the
+//! in-flight deltas of uncommitted transactions. A withdrawal is granted
+//! iff it is safe against the *worst case* — the balance that would remain
+//! if every uncommitted withdrawal committed and every uncommitted deposit
+//! aborted. Granted operations then commute: any commit/abort order keeps
+//! the balance within bounds.
+
+use std::collections::HashMap;
+
+/// Owner token (a transaction).
+pub type EscrowOwner = u64;
+
+/// Why an escrow request was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EscrowError {
+    /// Granting would admit a worst-case bound violation.
+    WouldViolateBound {
+        /// The worst-case balance the grant would allow.
+        worst_case: i64,
+        /// The configured lower bound.
+        lower_bound: i64,
+    },
+    /// Commit/abort of an owner with no pending operations.
+    UnknownOwner(EscrowOwner),
+}
+
+impl std::fmt::Display for EscrowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EscrowError::WouldViolateBound {
+                worst_case,
+                lower_bound,
+            } => write!(
+                f,
+                "escrow refused: worst case {worst_case} below bound {lower_bound}"
+            ),
+            EscrowError::UnknownOwner(o) => write!(f, "unknown escrow owner {o}"),
+        }
+    }
+}
+
+impl std::error::Error for EscrowError {}
+
+/// A lower-bounded counter with escrow semantics.
+#[derive(Debug, Clone)]
+pub struct EscrowAccount {
+    committed: i64,
+    lower_bound: i64,
+    /// Uncommitted per-owner deltas (sum of granted ops).
+    pending: HashMap<EscrowOwner, i64>,
+}
+
+impl EscrowAccount {
+    /// A counter starting at `committed`, never allowed below
+    /// `lower_bound` (even transiently in the worst commit/abort case).
+    pub fn new(committed: i64, lower_bound: i64) -> Self {
+        assert!(committed >= lower_bound);
+        EscrowAccount {
+            committed,
+            lower_bound,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// The committed balance.
+    pub fn committed(&self) -> i64 {
+        self.committed
+    }
+
+    /// Worst-case balance: every pending withdrawal commits, every
+    /// pending deposit aborts.
+    pub fn worst_case(&self) -> i64 {
+        self.committed + self.pending.values().filter(|&&d| d < 0).sum::<i64>()
+    }
+
+    /// Best-case balance: every pending deposit commits, every pending
+    /// withdrawal aborts.
+    pub fn best_case(&self) -> i64 {
+        self.committed + self.pending.values().filter(|&&d| d > 0).sum::<i64>()
+    }
+
+    /// Request `owner` to adjust the balance by `delta` (negative =
+    /// withdraw). Granted iff the worst case stays within bounds.
+    pub fn request(&mut self, owner: EscrowOwner, delta: i64) -> Result<(), EscrowError> {
+        if delta < 0 {
+            let worst = self.worst_case() + delta;
+            if worst < self.lower_bound {
+                return Err(EscrowError::WouldViolateBound {
+                    worst_case: worst,
+                    lower_bound: self.lower_bound,
+                });
+            }
+        }
+        *self.pending.entry(owner).or_insert(0) += delta;
+        Ok(())
+    }
+
+    /// Commit all of `owner`'s pending operations.
+    pub fn commit(&mut self, owner: EscrowOwner) -> Result<(), EscrowError> {
+        let delta = self
+            .pending
+            .remove(&owner)
+            .ok_or(EscrowError::UnknownOwner(owner))?;
+        self.committed += delta;
+        debug_assert!(self.committed >= self.lower_bound);
+        Ok(())
+    }
+
+    /// Abort all of `owner`'s pending operations.
+    pub fn abort(&mut self, owner: EscrowOwner) -> Result<(), EscrowError> {
+        self.pending
+            .remove(&owner)
+            .ok_or(EscrowError::UnknownOwner(owner))?;
+        Ok(())
+    }
+
+    /// Number of owners with pending operations.
+    pub fn pending_owners(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposits_always_granted() {
+        let mut a = EscrowAccount::new(0, 0);
+        for o in 0..10 {
+            a.request(o, 5).unwrap();
+        }
+        assert_eq!(a.best_case(), 50);
+        assert_eq!(a.worst_case(), 0);
+    }
+
+    #[test]
+    fn withdrawal_against_worst_case() {
+        let mut a = EscrowAccount::new(100, 0);
+        a.request(1, -60).unwrap();
+        // a second -60 would admit a worst case of -20
+        assert!(matches!(
+            a.request(2, -60),
+            Err(EscrowError::WouldViolateBound { worst_case: -20, .. })
+        ));
+        // but -40 is fine
+        a.request(2, -40).unwrap();
+        assert_eq!(a.worst_case(), 0);
+    }
+
+    #[test]
+    fn uncommitted_deposits_do_not_fund_withdrawals() {
+        let mut a = EscrowAccount::new(0, 0);
+        a.request(1, 100).unwrap();
+        // the deposit may abort: withdrawal refused
+        assert!(a.request(2, -50).is_err());
+        a.commit(1).unwrap();
+        a.request(2, -50).unwrap();
+        a.commit(2).unwrap();
+        assert_eq!(a.committed(), 50);
+    }
+
+    #[test]
+    fn commit_and_abort_settle_balances() {
+        let mut a = EscrowAccount::new(10, 0);
+        a.request(1, -5).unwrap();
+        a.request(2, 7).unwrap();
+        a.abort(1).unwrap();
+        a.commit(2).unwrap();
+        assert_eq!(a.committed(), 17);
+        assert_eq!(a.pending_owners(), 0);
+        assert!(matches!(a.commit(9), Err(EscrowError::UnknownOwner(9))));
+    }
+
+    #[test]
+    fn any_commit_abort_order_of_granted_ops_is_safe() {
+        // brute-force: grant a set of ops, then try all commit/abort
+        // combinations — the bound must never be violated
+        let mut a = EscrowAccount::new(20, 0);
+        let mut granted: Vec<(u64, i64)> = Vec::new();
+        for (o, d) in [(1i64, -10i64), (2, 15), (3, -10), (4, -10)].iter().map(|&(o, d)| (o as u64, d)) {
+            if a.request(o, d).is_ok() {
+                granted.push((o, d));
+            }
+        }
+        // enumerate commit(bit=1)/abort(bit=0) outcomes
+        for mask in 0..(1u32 << granted.len()) {
+            let mut balance = 20i64;
+            for (i, &(_, d)) in granted.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    balance += d;
+                }
+            }
+            assert!(balance >= 0, "mask {mask:b} violates bound: {balance}");
+        }
+    }
+}

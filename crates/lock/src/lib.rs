@@ -1,0 +1,22 @@
+//! # oodb-lock — semantic locking protocols
+//!
+//! The online side of the paper: protocols that *produce* oo-serializable
+//! schedules rather than checking them after the fact.
+//!
+//! * [`table`] — a step-based lock manager whose modes are commutativity
+//!   descriptors (Definition 9): with read/write descriptors on pages it
+//!   is classical strict 2PL; with key/escrow descriptors on objects it is
+//!   the open-nested semantic protocol. Child-commit disciplines give the
+//!   open (release) vs closed (transfer) ablation.
+//! * [`escrow`] — O'Neil-style escrow accounts for bounded counters.
+//!
+//! Deadlocks are detected on the waits-for graph, projected onto
+//! top-level transactions.
+
+#![warn(missing_docs)]
+
+pub mod escrow;
+pub mod table;
+
+pub use escrow::{EscrowAccount, EscrowError, EscrowOwner};
+pub use table::{LockManager, LockOutcome, LockStats, OwnerId, ResourceId};

@@ -1,0 +1,454 @@
+//! Encapsulated object instances and message dispatch.
+//!
+//! "In an object-oriented database the objects are encapsulated, i.e.,
+//! objects are only accessible by methods defined in the database system."
+//! A [`Database`] holds named instances of the registered
+//! [`crate::types::ObjectType`]s; the only way to touch an instance is
+//! [`Database::send`], which resolves the method along the inheritance
+//! chain, records the action through the transaction's
+//! [`crate::recorder::TxnCtx`], and invokes the implementation — which in
+//! turn may send further messages, building the open-nested call tree of
+//! the paper's Definition 2 as a side effect of ordinary execution.
+
+use crate::recorder::{Recorder, TxnCtx};
+use crate::types::{TypeError, TypeRegistry};
+use oodb_core::commutativity::ActionDescriptor;
+use oodb_core::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Errors surfaced by dispatch and method implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Schema-level failure (unknown type/method, …).
+    Type(TypeError),
+    /// Message sent to an object that does not exist.
+    UnknownObject(String),
+    /// A property read on a missing key.
+    UnknownProperty {
+        /// The receiving object.
+        object: String,
+        /// The missing property name.
+        property: String,
+    },
+    /// Domain-specific failure raised by a method body.
+    Method(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Type(e) => write!(f, "{e}"),
+            ModelError::UnknownObject(o) => write!(f, "unknown object {o}"),
+            ModelError::UnknownProperty { object, property } => {
+                write!(f, "object {object} has no property {property}")
+            }
+            ModelError::Method(m) => write!(f, "method error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<TypeError> for ModelError {
+    fn from(e: TypeError) -> Self {
+        ModelError::Type(e)
+    }
+}
+
+/// What a method invocation produced, and how it should be recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodOutcome {
+    /// Return value delivered to the sender.
+    pub value: Value,
+}
+
+impl MethodOutcome {
+    /// Outcome with no payload.
+    pub fn unit() -> Self {
+        MethodOutcome { value: Value::Unit }
+    }
+
+    /// Outcome carrying `value`.
+    pub fn of(value: Value) -> Self {
+        MethodOutcome { value }
+    }
+}
+
+/// A method implementation. `this` is the receiving object's name; the
+/// body may read/write the receiver's properties via the database and
+/// send further messages (which records them as nested actions).
+pub trait Method: Send + Sync {
+    /// Execute the method body.
+    fn invoke(
+        &self,
+        db: &mut Database,
+        ctx: &mut TxnCtx,
+        this: &str,
+        args: &[Value],
+    ) -> Result<MethodOutcome, ModelError>;
+
+    /// True iff this method touches only the receiver's own state and
+    /// sends no messages — it is recorded as a *primitive* action
+    /// (Definition 3) and its execution timestamps the history.
+    fn is_primitive(&self) -> bool {
+        false
+    }
+}
+
+/// A method defined by a plain function or closure.
+pub struct FnMethod<F>(pub F, pub bool);
+
+impl<F> Method for FnMethod<F>
+where
+    F: Fn(&mut Database, &mut TxnCtx, &str, &[Value]) -> Result<MethodOutcome, ModelError>
+        + Send
+        + Sync,
+{
+    fn invoke(
+        &self,
+        db: &mut Database,
+        ctx: &mut TxnCtx,
+        this: &str,
+        args: &[Value],
+    ) -> Result<MethodOutcome, ModelError> {
+        (self.0)(db, ctx, this, args)
+    }
+
+    fn is_primitive(&self) -> bool {
+        self.1
+    }
+}
+
+/// Build a non-primitive method from a closure.
+pub fn method<F>(f: F) -> Arc<dyn Method>
+where
+    F: Fn(&mut Database, &mut TxnCtx, &str, &[Value]) -> Result<MethodOutcome, ModelError>
+        + Send
+        + Sync
+        + 'static,
+{
+    Arc::new(FnMethod(f, false))
+}
+
+/// Build a primitive (leaf) method from a closure.
+pub fn primitive_method<F>(f: F) -> Arc<dyn Method>
+where
+    F: Fn(&mut Database, &mut TxnCtx, &str, &[Value]) -> Result<MethodOutcome, ModelError>
+        + Send
+        + Sync
+        + 'static,
+{
+    Arc::new(FnMethod(f, true))
+}
+
+/// One object instance: its type and its property state.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    /// The instance's type name.
+    pub type_name: String,
+    props: HashMap<String, Value>,
+}
+
+/// The database: a schema, the instances, and the recorder wiring every
+/// dispatch into the core transaction system.
+pub struct Database {
+    types: TypeRegistry,
+    instances: HashMap<String, Instance>,
+    recorder: Recorder,
+}
+
+impl Database {
+    /// A database over `types`, recording into `recorder`.
+    pub fn new(types: TypeRegistry, recorder: Recorder) -> Self {
+        Database {
+            types,
+            instances: HashMap::new(),
+            recorder,
+        }
+    }
+
+    /// The schema.
+    pub fn types(&self) -> &TypeRegistry {
+        &self.types
+    }
+
+    /// The recorder handle.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Create an instance of `type_name` called `name`. Registers the
+    /// object with its type's commutativity spec in the recorder.
+    pub fn create(&mut self, name: impl Into<String>, type_name: &str) -> Result<(), ModelError> {
+        let name = name.into();
+        let spec = self.types.resolve_spec(type_name)?;
+        self.recorder.object(&name, spec);
+        self.instances.insert(
+            name,
+            Instance {
+                type_name: type_name.to_owned(),
+                props: HashMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// True iff the object exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.instances.contains_key(name)
+    }
+
+    /// Read a property of an object (no recording; use from method bodies
+    /// that are themselves recorded).
+    pub fn get_prop(&self, object: &str, property: &str) -> Result<Value, ModelError> {
+        let inst = self
+            .instances
+            .get(object)
+            .ok_or_else(|| ModelError::UnknownObject(object.to_owned()))?;
+        inst.props
+            .get(property)
+            .cloned()
+            .ok_or_else(|| ModelError::UnknownProperty {
+                object: object.to_owned(),
+                property: property.to_owned(),
+            })
+    }
+
+    /// Read a property, or `default` if unset.
+    pub fn get_prop_or(&self, object: &str, property: &str, default: Value) -> Value {
+        self.get_prop(object, property).unwrap_or(default)
+    }
+
+    /// Write a property of an object.
+    pub fn set_prop(
+        &mut self,
+        object: &str,
+        property: impl Into<String>,
+        value: Value,
+    ) -> Result<(), ModelError> {
+        let inst = self
+            .instances
+            .get_mut(object)
+            .ok_or_else(|| ModelError::UnknownObject(object.to_owned()))?;
+        inst.props.insert(property.into(), value);
+        Ok(())
+    }
+
+    /// Send the message `object.method(args)` within transaction `ctx`.
+    ///
+    /// Non-primitive methods are recorded as an entered action whose
+    /// children are whatever the body sends; primitive methods are
+    /// recorded as executed leaf actions (their invocation is their
+    /// Axiom 1 timestamp).
+    pub fn send(
+        &mut self,
+        ctx: &mut TxnCtx,
+        object: &str,
+        method_name: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, ModelError> {
+        let type_name = self
+            .instances
+            .get(object)
+            .ok_or_else(|| ModelError::UnknownObject(object.to_owned()))?
+            .type_name
+            .clone();
+        let m = self.types.resolve_method(&type_name, method_name)?;
+        let obj_idx = self
+            .recorder
+            .find_object(object)
+            .unwrap_or_else(|| panic!("instance {object} registered with recorder"));
+        let descriptor = ActionDescriptor::new(method_name, args.clone());
+        if m.is_primitive() {
+            ctx.primitive(obj_idx, descriptor);
+            let out = m.invoke(self, ctx, object, &args)?;
+            Ok(out.value)
+        } else {
+            ctx.enter(obj_idx, descriptor);
+            let out = m.invoke(self, ctx, object, &args);
+            ctx.exit();
+            Ok(out?.value)
+        }
+    }
+
+    /// All instance names, sorted (for stable output).
+    pub fn object_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.instances.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ObjectType;
+    use oodb_core::commutativity::{EscrowSpec, ReadWriteSpec};
+    use oodb_core::prelude::analyze;
+
+    /// Schema: an Account type with escrow semantics whose deposit and
+    /// withdraw are primitive state updates.
+    fn account_schema() -> TypeRegistry {
+        let mut reg = TypeRegistry::new();
+        reg.register(
+            ObjectType::new("Account")
+                .with_spec(Arc::new(EscrowSpec::unbounded()))
+                .method(
+                    "deposit",
+                    primitive_method(|db, _ctx, this, args| {
+                        let amount = args[0].as_int().unwrap_or(0);
+                        let bal = db.get_prop_or(this, "balance", Value::Int(0));
+                        db.set_prop(this, "balance", Value::Int(bal.as_int().unwrap() + amount))?;
+                        Ok(MethodOutcome::unit())
+                    }),
+                )
+                .method(
+                    "withdraw",
+                    primitive_method(|db, _ctx, this, args| {
+                        let amount = args[0].as_int().unwrap_or(0);
+                        let bal = db.get_prop_or(this, "balance", Value::Int(0));
+                        db.set_prop(this, "balance", Value::Int(bal.as_int().unwrap() - amount))?;
+                        Ok(MethodOutcome::unit())
+                    }),
+                )
+                .method(
+                    "balance",
+                    primitive_method(|db, _ctx, this, _| {
+                        Ok(MethodOutcome::of(db.get_prop_or(this, "balance", Value::Int(0))))
+                    }),
+                ),
+        )
+        .unwrap();
+        // a Bank whose transfer sends to two accounts
+        reg.register(
+            ObjectType::new("Bank")
+                .with_spec(Arc::new(ReadWriteSpec))
+                .method(
+                    "transfer",
+                    method(|db, ctx, _this, args| {
+                        let from = args[0].as_str().unwrap().to_owned();
+                        let to = args[1].as_str().unwrap().to_owned();
+                        let amount = args[2].clone();
+                        db.send(ctx, &from, "withdraw", vec![amount.clone()])?;
+                        db.send(ctx, &to, "deposit", vec![amount])?;
+                        Ok(MethodOutcome::unit())
+                    }),
+                ),
+        )
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn dispatch_updates_state_and_records_tree() {
+        let rec = Recorder::new();
+        let mut db = Database::new(account_schema(), rec.clone());
+        db.create("bank", "Bank").unwrap();
+        db.create("acc1", "Account").unwrap();
+        db.create("acc2", "Account").unwrap();
+
+        let mut t = rec.begin_txn("T1");
+        db.send(&mut t, "acc1", "deposit", vec![Value::Int(100)]).unwrap();
+        db.send(
+            &mut t,
+            "bank",
+            "transfer",
+            vec!["acc1".into(), "acc2".into(), Value::Int(30)],
+        )
+        .unwrap();
+        let bal1 = db.send(&mut t, "acc1", "balance", vec![]).unwrap();
+        let bal2 = db.send(&mut t, "acc2", "balance", vec![]).unwrap();
+        drop(t);
+
+        assert_eq!(bal1, Value::Int(70));
+        assert_eq!(bal2, Value::Int(30));
+
+        let (ts, h) = rec.finish();
+        // tree: root -> {deposit, transfer -> {withdraw, deposit}, balance x2}
+        let root = ts.top_level()[0];
+        assert_eq!(ts.action(root).children.len(), 4);
+        let transfer = ts.action(root).children[1];
+        assert_eq!(ts.action(transfer).children.len(), 2);
+        // 5 primitives executed: deposit, withdraw, deposit, balance, balance
+        assert_eq!(h.len(), 5);
+        h.check_complete(&ts).unwrap();
+    }
+
+    #[test]
+    fn concurrent_deposits_commute() {
+        let rec = Recorder::new();
+        let mut db = Database::new(account_schema(), rec.clone());
+        db.create("acc", "Account").unwrap();
+
+        let mut t1 = rec.begin_txn("T1");
+        let mut t2 = rec.begin_txn("T2");
+        db.send(&mut t1, "acc", "deposit", vec![Value::Int(10)]).unwrap();
+        db.send(&mut t2, "acc", "deposit", vec![Value::Int(20)]).unwrap();
+        db.send(&mut t1, "acc", "deposit", vec![Value::Int(1)]).unwrap();
+        drop(t1);
+        drop(t2);
+
+        assert_eq!(db.get_prop("acc", "balance").unwrap(), Value::Int(31));
+        let (ts, h) = rec.finish();
+        let r = analyze(&ts, &h);
+        // escrow: deposits commute, interleaving is harmless
+        assert!(r.oo_decentralized.is_ok());
+        // and there is no top-level ordering between T1 and T2
+        let ss = oodb_core::schedule::SystemSchedules::infer(&ts, &h);
+        assert_eq!(ss.schedule(ts.system_object()).action_deps.edge_count(), 0);
+    }
+
+    #[test]
+    fn balance_read_conflicts_with_updates() {
+        let rec = Recorder::new();
+        let mut db = Database::new(account_schema(), rec.clone());
+        db.create("acc", "Account").unwrap();
+
+        let mut t1 = rec.begin_txn("T1");
+        let mut t2 = rec.begin_txn("T2");
+        // T2 reads between T1's two deposits: T1 -> T2 and T2 -> T1
+        db.send(&mut t1, "acc", "deposit", vec![Value::Int(10)]).unwrap();
+        db.send(&mut t2, "acc", "balance", vec![]).unwrap();
+        db.send(&mut t1, "acc", "deposit", vec![Value::Int(10)]).unwrap();
+        drop(t1);
+        drop(t2);
+
+        let (ts, h) = rec.finish();
+        let r = analyze(&ts, &h);
+        assert!(r.oo_decentralized.is_err());
+    }
+
+    #[test]
+    fn unknown_object_and_method_errors() {
+        let rec = Recorder::new();
+        let mut db = Database::new(account_schema(), rec.clone());
+        db.create("acc", "Account").unwrap();
+        let mut t = rec.begin_txn("T");
+        assert!(matches!(
+            db.send(&mut t, "ghost", "deposit", vec![Value::Int(1)]),
+            Err(ModelError::UnknownObject(_))
+        ));
+        assert!(matches!(
+            db.send(&mut t, "acc", "explode", vec![]),
+            Err(ModelError::Type(TypeError::UnknownMethod { .. }))
+        ));
+        drop(t);
+    }
+
+    #[test]
+    fn property_errors() {
+        let rec = Recorder::new();
+        let mut db = Database::new(account_schema(), rec);
+        db.create("acc", "Account").unwrap();
+        assert!(matches!(
+            db.get_prop("acc", "nope"),
+            Err(ModelError::UnknownProperty { .. })
+        ));
+        assert!(matches!(
+            db.set_prop("ghost", "x", Value::Unit),
+            Err(ModelError::UnknownObject(_))
+        ));
+        assert_eq!(db.get_prop_or("acc", "nope", Value::Int(7)), Value::Int(7));
+    }
+}

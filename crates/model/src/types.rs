@@ -1,0 +1,308 @@
+//! Object types with inheritance (the VODAK-flavoured schema layer).
+//!
+//! The paper's setting is the VODAK modeling language: "an object-oriented
+//! data model, which encapsulates objects together with their operations
+//! (methods), and supports inheritance of structure, operations and
+//! values". This module provides the minimal faithful slice the
+//! concurrency work needs: named object types carrying
+//!
+//! * a set of named **methods** (implementations, see
+//!   [`crate::database::Method`]),
+//! * the **commutativity specification** of the type (Definition 9's
+//!   matrix, the semantic knowledge "specified by the implementor of an
+//!   object type"),
+//! * an optional **supertype**, from which methods and — if none is given
+//!   locally — the commutativity spec are inherited.
+
+use crate::database::Method;
+use oodb_core::commutativity::{AllConflict, SpecRef};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Schema-level description of one object type.
+#[derive(Clone)]
+pub struct ObjectType {
+    /// Type name, unique within a registry.
+    pub name: String,
+    /// Supertype name, if any.
+    pub supertype: Option<String>,
+    /// Locally defined methods.
+    methods: HashMap<String, Arc<dyn Method>>,
+    /// Locally defined commutativity spec (inherited when `None`).
+    spec: Option<SpecRef>,
+}
+
+impl std::fmt::Debug for ObjectType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectType")
+            .field("name", &self.name)
+            .field("supertype", &self.supertype)
+            .field("methods", &self.methods.keys().collect::<Vec<_>>())
+            .field("spec", &self.spec.as_ref().map(|s| s.name().to_owned()))
+            .finish()
+    }
+}
+
+impl ObjectType {
+    /// A new type with no methods and no local spec.
+    pub fn new(name: impl Into<String>) -> Self {
+        ObjectType {
+            name: name.into(),
+            supertype: None,
+            methods: HashMap::new(),
+            spec: None,
+        }
+    }
+
+    /// Declare the supertype.
+    pub fn extends(mut self, supertype: impl Into<String>) -> Self {
+        self.supertype = Some(supertype.into());
+        self
+    }
+
+    /// Attach the commutativity spec of this type.
+    pub fn with_spec(mut self, spec: SpecRef) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Define (or override) a method.
+    pub fn method(mut self, name: impl Into<String>, m: Arc<dyn Method>) -> Self {
+        self.methods.insert(name.into(), m);
+        self
+    }
+
+    /// Locally defined method, if any.
+    pub fn local_method(&self, name: &str) -> Option<&Arc<dyn Method>> {
+        self.methods.get(name)
+    }
+
+    /// Locally defined spec, if any.
+    pub fn local_spec(&self) -> Option<&SpecRef> {
+        self.spec.as_ref()
+    }
+
+    /// Names of locally defined methods, sorted.
+    pub fn method_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.methods.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Errors raised by the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Registering a type whose name already exists.
+    Duplicate(String),
+    /// A supertype reference that does not resolve.
+    UnknownSupertype {
+        /// The type being registered.
+        of: String,
+        /// The missing supertype name.
+        supertype: String,
+    },
+    /// The inheritance chain contains a cycle.
+    InheritanceCycle(String),
+    /// Looking up a type that does not exist.
+    UnknownType(String),
+    /// Resolving a method that no type in the chain defines.
+    UnknownMethod {
+        /// The receiver's type.
+        ty: String,
+        /// The unresolved method name.
+        method: String,
+    },
+}
+
+impl std::fmt::Display for TypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeError::Duplicate(n) => write!(f, "type {n} already registered"),
+            TypeError::UnknownSupertype { of, supertype } => {
+                write!(f, "type {of} extends unknown type {supertype}")
+            }
+            TypeError::InheritanceCycle(n) => write!(f, "inheritance cycle through {n}"),
+            TypeError::UnknownType(n) => write!(f, "unknown type {n}"),
+            TypeError::UnknownMethod { ty, method } => {
+                write!(f, "type {ty} has no method {method}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// All registered object types of a database schema.
+#[derive(Debug, Clone, Default)]
+pub struct TypeRegistry {
+    types: HashMap<String, ObjectType>,
+}
+
+impl TypeRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a type. The supertype, if named, must already exist
+    /// (definition-before-use also rules out inheritance cycles).
+    pub fn register(&mut self, ty: ObjectType) -> Result<(), TypeError> {
+        if self.types.contains_key(&ty.name) {
+            return Err(TypeError::Duplicate(ty.name.clone()));
+        }
+        if let Some(sup) = &ty.supertype {
+            if !self.types.contains_key(sup) {
+                return Err(TypeError::UnknownSupertype {
+                    of: ty.name.clone(),
+                    supertype: sup.clone(),
+                });
+            }
+        }
+        self.types.insert(ty.name.clone(), ty);
+        Ok(())
+    }
+
+    /// Look up a type by name.
+    pub fn get(&self, name: &str) -> Result<&ObjectType, TypeError> {
+        self.types
+            .get(name)
+            .ok_or_else(|| TypeError::UnknownType(name.to_owned()))
+    }
+
+    /// Resolve `method` on `ty`, walking the inheritance chain upward.
+    pub fn resolve_method(&self, ty: &str, method: &str) -> Result<Arc<dyn Method>, TypeError> {
+        let mut cur = Some(ty.to_owned());
+        let mut hops = 0usize;
+        while let Some(name) = cur {
+            let t = self.get(&name)?;
+            if let Some(m) = t.local_method(method) {
+                return Ok(m.clone());
+            }
+            cur = t.supertype.clone();
+            hops += 1;
+            if hops > self.types.len() {
+                return Err(TypeError::InheritanceCycle(name));
+            }
+        }
+        Err(TypeError::UnknownMethod {
+            ty: ty.to_owned(),
+            method: method.to_owned(),
+        })
+    }
+
+    /// Resolve the commutativity spec of `ty`, walking the inheritance
+    /// chain; falls back to the conservative [`AllConflict`] if no type in
+    /// the chain defines one (no semantic knowledge means no extra
+    /// concurrency).
+    pub fn resolve_spec(&self, ty: &str) -> Result<SpecRef, TypeError> {
+        let mut cur = Some(ty.to_owned());
+        let mut hops = 0usize;
+        while let Some(name) = cur {
+            let t = self.get(&name)?;
+            if let Some(s) = t.local_spec() {
+                return Ok(s.clone());
+            }
+            cur = t.supertype.clone();
+            hops += 1;
+            if hops > self.types.len() {
+                return Err(TypeError::InheritanceCycle(name));
+            }
+        }
+        Ok(Arc::new(AllConflict))
+    }
+
+    /// All type names, sorted.
+    pub fn type_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.types.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{Database, MethodOutcome};
+    use oodb_core::commutativity::{KeyedSpec, ReadWriteSpec};
+    use oodb_core::value::Value;
+
+    struct Nop;
+    impl Method for Nop {
+        fn invoke(
+            &self,
+            _db: &mut Database,
+            _ctx: &mut crate::recorder::TxnCtx,
+            _this: &str,
+            _args: &[Value],
+        ) -> Result<MethodOutcome, crate::database::ModelError> {
+            Ok(MethodOutcome::unit())
+        }
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let mut reg = TypeRegistry::new();
+        reg.register(
+            ObjectType::new("Container")
+                .with_spec(Arc::new(KeyedSpec::search_structure("container")))
+                .method("insert", Arc::new(Nop)),
+        )
+        .unwrap();
+        reg.register(ObjectType::new("Document").extends("Container"))
+            .unwrap();
+        // method inherited
+        assert!(reg.resolve_method("Document", "insert").is_ok());
+        // spec inherited
+        assert_eq!(reg.resolve_spec("Document").unwrap().name(), "container");
+        // override
+        let mut reg2 = reg.clone();
+        reg2.register(
+            ObjectType::new("Versioned")
+                .extends("Container")
+                .with_spec(Arc::new(ReadWriteSpec)),
+        )
+        .unwrap();
+        assert_eq!(reg2.resolve_spec("Versioned").unwrap().name(), "read-write");
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut reg = TypeRegistry::new();
+        reg.register(ObjectType::new("T")).unwrap();
+        assert_eq!(
+            reg.register(ObjectType::new("T")),
+            Err(TypeError::Duplicate("T".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_supertype_rejected() {
+        let mut reg = TypeRegistry::new();
+        assert!(matches!(
+            reg.register(ObjectType::new("T").extends("Missing")),
+            Err(TypeError::UnknownSupertype { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_method_and_type_reported() {
+        let mut reg = TypeRegistry::new();
+        reg.register(ObjectType::new("T")).unwrap();
+        assert!(matches!(
+            reg.resolve_method("T", "nothing"),
+            Err(TypeError::UnknownMethod { .. })
+        ));
+        assert!(matches!(
+            reg.resolve_method("Nope", "m"),
+            Err(TypeError::UnknownType(_))
+        ));
+    }
+
+    #[test]
+    fn missing_spec_falls_back_to_all_conflict() {
+        let mut reg = TypeRegistry::new();
+        reg.register(ObjectType::new("Bare")).unwrap();
+        assert_eq!(reg.resolve_spec("Bare").unwrap().name(), "all-conflict");
+    }
+}

@@ -1,0 +1,23 @@
+//! # oodb-recovery — WAL and crash recovery for the page substrate
+//!
+//! The paper's transaction concept promises execution "reliably — as if
+//! there were no failures". This crate supplies the physical half of that
+//! promise for the simulated storage engine:
+//!
+//! * [`wal`] — an append-only log with full page before/after images, a
+//!   durable-prefix/volatile-tail split for crash simulation, and CLRs;
+//! * [`store`] — a steal/no-force page store over the buffer pool with
+//!   ARIES-lite restart (analysis, repeating-history redo, loser undo).
+//!
+//! The *semantic* half — aborting an open nested transaction whose
+//! subtransactions already released their effects — is compensation
+//! (`oodb_core::compensation`); from this layer's perspective a
+//! compensation transaction is just another logged transaction.
+
+#![warn(missing_docs)]
+
+pub mod store;
+pub mod wal;
+
+pub use store::{CrashImage, RecoverableStore, RecoveryStats};
+pub use wal::{LogRecord, Lsn, RecTxnId, Wal};

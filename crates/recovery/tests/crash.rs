@@ -1,0 +1,169 @@
+//! Property-based crash testing: random strict executions with
+//! commits, aborts, and a crash at a random point; after recovery the
+//! visible state must equal the state produced by the committed
+//! transactions alone, and recovery must be idempotent.
+
+use oodb_recovery::{RecoverableStore, RecTxnId};
+use oodb_storage::PageId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One scripted step of the torture plan.
+#[derive(Debug, Clone)]
+enum Step {
+    Begin,
+    /// Write `value` to the pad of page `page_slot` (mod allocated).
+    Write { page_slot: usize, value: u8 },
+    Commit,
+    Abort,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            1 => Just(Step::Begin),
+            4 => (0usize..6, any::<u8>()).prop_map(|(page_slot, value)| Step::Write { page_slot, value }),
+            1 => Just(Step::Commit),
+            1 => Just(Step::Abort),
+        ],
+        1..60,
+    )
+}
+
+/// Interpret the plan strictly: one live transaction at a time (page-level
+/// strictness, the precondition for physical undo — provided in real
+/// executions by the locking layer). Returns the expected final values
+/// per page from committed transactions only.
+struct Interp {
+    store: RecoverableStore,
+    pages: Vec<PageId>,
+    live: Option<RecTxnId>,
+    next_txn: RecTxnId,
+    /// committed view (what must survive)
+    committed: HashMap<PageId, u8>,
+    /// pending writes of the live transaction
+    pending: HashMap<PageId, u8>,
+}
+
+impl Interp {
+    fn new() -> Self {
+        let mut store = RecoverableStore::new(2, 256);
+        // pre-commit a setup transaction allocating the page pool
+        store.begin(0);
+        let pages: Vec<PageId> = (0..6).map(|_| store.allocate(0)).collect();
+        for &p in &pages {
+            store.write_page(0, p, |pg| {
+                pg.insert(&[0]).unwrap(); // slot 0 = the value pad
+            });
+        }
+        store.commit(0);
+        let committed = pages.iter().map(|&p| (p, 0u8)).collect();
+        Interp {
+            store,
+            pages,
+            live: None,
+            next_txn: 1,
+            committed,
+            pending: HashMap::new(),
+        }
+    }
+
+    fn apply(&mut self, step: &Step) {
+        match step {
+            Step::Begin => {
+                if self.live.is_none() {
+                    let t = self.next_txn;
+                    self.next_txn += 1;
+                    self.store.begin(t);
+                    self.live = Some(t);
+                    self.pending.clear();
+                }
+            }
+            Step::Write { page_slot, value } => {
+                if let Some(t) = self.live {
+                    let page = self.pages[page_slot % self.pages.len()];
+                    self.store.write_page(t, page, |pg| {
+                        pg.update(0, &[*value]).unwrap();
+                    });
+                    self.pending.insert(page, *value);
+                }
+            }
+            Step::Commit => {
+                if let Some(t) = self.live.take() {
+                    self.store.commit(t);
+                    self.committed.extend(self.pending.drain());
+                }
+            }
+            Step::Abort => {
+                if let Some(t) = self.live.take() {
+                    self.store.abort(t);
+                    self.pending.clear();
+                }
+            }
+        }
+    }
+
+    fn value_of(store: &RecoverableStore, page: PageId) -> u8 {
+        store.read_page(page, |pg| pg.read(0).unwrap()[0])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn crash_anywhere_preserves_exactly_committed_state(
+        plan in steps(),
+        crash_after in 0usize..60,
+    ) {
+        let mut interp = Interp::new();
+        for (i, step) in plan.iter().enumerate() {
+            if i == crash_after {
+                break;
+            }
+            interp.apply(step);
+        }
+        let expected = interp.committed.clone();
+        let pages = interp.pages.clone();
+
+        let (recovered, _) = interp.store.crash().recover();
+        for &p in &pages {
+            prop_assert_eq!(
+                Interp::value_of(&recovered, p),
+                expected[&p],
+                "page {} after recovery", p
+            );
+        }
+
+        // idempotence: crash + recover again changes nothing
+        let snapshot = recovered.checkpoint_disk();
+        let (recovered2, stats2) = recovered.crash().recover();
+        prop_assert_eq!(recovered2.checkpoint_disk(), snapshot);
+        prop_assert_eq!(stats2.clrs, 0);
+    }
+
+    /// Explicit aborts and crash-induced rollbacks agree: running the
+    /// same plan with trailing abort vs crashing instead yields the same
+    /// page values.
+    #[test]
+    fn abort_and_crash_rollback_agree(plan in steps()) {
+        let run = |finish_with_abort: bool| {
+            let mut interp = Interp::new();
+            for step in &plan {
+                interp.apply(step);
+            }
+            if let Some(t) = interp.live.take() {
+                if finish_with_abort {
+                    interp.store.abort(t);
+                }
+            }
+            let pages = interp.pages.clone();
+            let (store, _) = interp.store.crash().recover();
+            pages
+                .iter()
+                .map(|&p| Interp::value_of(&store, p))
+                .collect::<Vec<u8>>()
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}

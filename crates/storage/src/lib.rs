@@ -1,0 +1,20 @@
+//! # oodb-storage — simulated page storage
+//!
+//! The zero-level substrate of the reproduction: fixed-size slotted
+//! [`page::Page`]s behind a [`pool::BufferPool`] with pin/unpin, LRU
+//! eviction, dirty write-back and per-page latches, over an in-memory
+//! simulated disk.
+//!
+//! The paper needs pages only as the universal *primitive* object type
+//! whose `read`/`write` actions obey Axiom 1 (conflicting primitives have
+//! a given order); everything physical here exists so the B⁺-tree and
+//! item-list substrates above produce genuine page-level access patterns
+//! rather than synthetic ones.
+
+#![warn(missing_docs)]
+
+pub mod page;
+pub mod pool;
+
+pub use page::{Page, PageError, PageId, DEFAULT_PAGE_SIZE};
+pub use pool::{BufferPool, PinnedPage, PoolError, PoolStats};

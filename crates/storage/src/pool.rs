@@ -1,0 +1,398 @@
+//! Buffer pool over a simulated disk.
+//!
+//! The paper's substrate is a conventional page-based storage engine; we
+//! simulate the disk as an in-memory map and put a real buffer manager in
+//! front of it: fixed number of frames, pin/unpin, LRU eviction of
+//! unpinned frames, dirty write-back, and per-page latches
+//! ([`parking_lot::RwLock`]) for physical consistency of concurrent
+//! executors. Statistics feed the FIG1/B-series experiments.
+
+use crate::page::{Page, PageId, DEFAULT_PAGE_SIZE};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters exposed by the pool; all monotone.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Page requests satisfied from a resident frame.
+    pub hits: AtomicU64,
+    /// Page requests that had to load from the disk sim.
+    pub misses: AtomicU64,
+    /// Frames evicted to make room.
+    pub evictions: AtomicU64,
+    /// Dirty pages written back to the disk sim.
+    pub writebacks: AtomicU64,
+    /// Pages created.
+    pub allocations: AtomicU64,
+}
+
+impl PoolStats {
+    /// Snapshot as plain numbers `(hits, misses, evictions, writebacks,
+    /// allocations)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+            self.writebacks.load(Ordering::Relaxed),
+            self.allocations.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Errors raised by the buffer pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The page was never allocated.
+    UnknownPage(PageId),
+    /// All frames are pinned; nothing can be evicted.
+    NoEvictableFrame,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::UnknownPage(p) => write!(f, "unknown page {p}"),
+            PoolError::NoEvictableFrame => write!(f, "all frames pinned"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+struct Frame {
+    page: RwLock<Page>,
+    pins: AtomicU64,
+    dirty: AtomicU64, // 0/1; u64 to share the atomic module
+    /// LRU clock value of the last unpinned use.
+    last_used: AtomicU64,
+}
+
+struct Inner {
+    /// Simulated disk.
+    disk: Mutex<HashMap<PageId, Vec<u8>>>,
+    /// Resident frames.
+    frames: Mutex<HashMap<PageId, Arc<Frame>>>,
+    capacity: usize,
+    page_size: usize,
+    clock: AtomicU64,
+    next_page: AtomicU64,
+    stats: PoolStats,
+}
+
+/// A buffer pool of `capacity` frames over a simulated disk. Cloneable
+/// shared handle.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<Inner>,
+}
+
+/// RAII pin on a page frame. Read/write the page through
+/// [`PinnedPage::read`] / [`PinnedPage::write`]; the pin is released on
+/// drop, making the frame evictable again.
+pub struct PinnedPage {
+    pool: BufferPool,
+    id: PageId,
+    frame: Arc<Frame>,
+}
+
+impl std::fmt::Debug for PinnedPage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedPage").field("id", &self.id).finish()
+    }
+}
+
+impl BufferPool {
+    /// A pool with `capacity` frames of `page_size` bytes.
+    pub fn new(capacity: usize, page_size: usize) -> Self {
+        assert!(capacity > 0, "pool needs at least one frame");
+        BufferPool {
+            inner: Arc::new(Inner {
+                disk: Mutex::new(HashMap::new()),
+                frames: Mutex::new(HashMap::new()),
+                capacity,
+                page_size,
+                clock: AtomicU64::new(0),
+                next_page: AtomicU64::new(0),
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// A pool with the default page size.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::new(capacity, DEFAULT_PAGE_SIZE)
+    }
+
+    /// The configured page size.
+    pub fn page_size(&self) -> usize {
+        self.inner.page_size
+    }
+
+    /// Pool statistics.
+    pub fn stats(&self) -> &PoolStats {
+        &self.inner.stats
+    }
+
+    /// Number of currently resident frames.
+    pub fn resident(&self) -> usize {
+        self.inner.frames.lock().len()
+    }
+
+    /// Allocate a fresh page (resident and pinned).
+    pub fn allocate(&self) -> Result<PinnedPage, PoolError> {
+        let id = PageId(self.inner.next_page.fetch_add(1, Ordering::Relaxed) as u32);
+        self.inner.stats.allocations.fetch_add(1, Ordering::Relaxed);
+        // register on disk so UnknownPage never fires for allocated pages
+        self.inner
+            .disk
+            .lock()
+            .insert(id, Page::new(self.inner.page_size).as_bytes().to_vec());
+        let frame = self.install(id, Page::new(self.inner.page_size))?;
+        Ok(self.pin_frame(id, frame))
+    }
+
+    /// Fetch and pin `id`, loading from the disk sim on a miss.
+    pub fn fetch(&self, id: PageId) -> Result<PinnedPage, PoolError> {
+        if let Some(frame) = self.inner.frames.lock().get(&id).cloned() {
+            self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.pin_frame(id, frame));
+        }
+        self.inner.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let bytes = self
+            .inner
+            .disk
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or(PoolError::UnknownPage(id))?;
+        let frame = self.install(id, Page::from_bytes(bytes))?;
+        Ok(self.pin_frame(id, frame))
+    }
+
+    /// Snapshot the simulated disk as it is **now** — resident dirty pages
+    /// are NOT included (that is the point: a crash loses the buffer
+    /// pool). Used by the recovery substrate to model media state.
+    pub fn disk_snapshot(&self) -> HashMap<PageId, Vec<u8>> {
+        self.inner.disk.lock().clone()
+    }
+
+    /// Rebuild a pool from a disk snapshot (restart after a crash). Page
+    /// allocation continues above the highest snapshot id.
+    pub fn from_disk(disk: HashMap<PageId, Vec<u8>>, capacity: usize, page_size: usize) -> Self {
+        let next = disk.keys().map(|p| p.0 as u64 + 1).max().unwrap_or(0);
+        let pool = Self::new(capacity, page_size);
+        *pool.inner.disk.lock() = disk;
+        pool.inner.next_page.store(next, Ordering::Relaxed);
+        pool
+    }
+
+    /// Overwrite a page directly on the simulated disk AND in the cache if
+    /// resident (recovery redo/undo path; unpinned use only).
+    pub fn write_through(&self, id: PageId, bytes: Vec<u8>) {
+        if let Some(frame) = self.inner.frames.lock().get(&id) {
+            *frame.page.write() = Page::from_bytes(bytes.clone());
+            frame.dirty.store(0, Ordering::Release);
+        }
+        self.inner.disk.lock().insert(id, bytes);
+    }
+
+    /// Write every dirty resident page back to the disk sim.
+    pub fn flush_all(&self) {
+        let frames = self.inner.frames.lock();
+        let mut disk = self.inner.disk.lock();
+        for (id, frame) in frames.iter() {
+            if frame.dirty.swap(0, Ordering::AcqRel) == 1 {
+                disk.insert(*id, frame.page.read().as_bytes().to_vec());
+                self.inner.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn pin_frame(&self, id: PageId, frame: Arc<Frame>) -> PinnedPage {
+        frame.pins.fetch_add(1, Ordering::AcqRel);
+        PinnedPage {
+            pool: self.clone(),
+            id,
+            frame,
+        }
+    }
+
+    /// Install a page into a frame, evicting an unpinned LRU victim if the
+    /// pool is full.
+    fn install(&self, id: PageId, page: Page) -> Result<Arc<Frame>, PoolError> {
+        let mut frames = self.inner.frames.lock();
+        if let Some(existing) = frames.get(&id) {
+            return Ok(existing.clone());
+        }
+        if frames.len() >= self.inner.capacity {
+            // LRU among unpinned frames
+            let victim = frames
+                .iter()
+                .filter(|(_, f)| f.pins.load(Ordering::Acquire) == 0)
+                .min_by_key(|(_, f)| f.last_used.load(Ordering::Acquire))
+                .map(|(vid, _)| *vid)
+                .ok_or(PoolError::NoEvictableFrame)?;
+            let frame = frames.remove(&victim).expect("victim resident");
+            if frame.dirty.load(Ordering::Acquire) == 1 {
+                self.inner
+                    .disk
+                    .lock()
+                    .insert(victim, frame.page.read().as_bytes().to_vec());
+                self.inner.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+            self.inner.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let frame = Arc::new(Frame {
+            page: RwLock::new(page),
+            pins: AtomicU64::new(0),
+            dirty: AtomicU64::new(0),
+            last_used: AtomicU64::new(self.inner.clock.fetch_add(1, Ordering::Relaxed)),
+        });
+        frames.insert(id, frame.clone());
+        Ok(frame)
+    }
+}
+
+impl PinnedPage {
+    /// This page's id.
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// Read the page under a shared latch.
+    pub fn read<R>(&self, f: impl FnOnce(&Page) -> R) -> R {
+        f(&self.frame.page.read())
+    }
+
+    /// Mutate the page under an exclusive latch; marks the frame dirty.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Page) -> R) -> R {
+        let r = f(&mut self.frame.page.write());
+        self.frame.dirty.store(1, Ordering::Release);
+        r
+    }
+}
+
+impl Drop for PinnedPage {
+    fn drop(&mut self) {
+        self.frame
+            .last_used
+            .store(self.pool.inner.clock.fetch_add(1, Ordering::Relaxed), Ordering::Release);
+        self.frame.pins.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_fetch() {
+        let pool = BufferPool::new(4, 256);
+        let id = {
+            let p = pool.allocate().unwrap();
+            p.write(|pg| pg.insert(b"data").unwrap());
+            p.id()
+        };
+        let p = pool.fetch(id).unwrap();
+        assert_eq!(p.read(|pg| pg.read(0).unwrap().to_vec()), b"data");
+    }
+
+    #[test]
+    fn unknown_page_rejected() {
+        let pool = BufferPool::new(2, 256);
+        assert_eq!(pool.fetch(PageId(99)).unwrap_err(), PoolError::UnknownPage(PageId(99)));
+    }
+
+    #[test]
+    fn eviction_and_writeback_preserve_data() {
+        let pool = BufferPool::new(2, 256);
+        let mut ids = Vec::new();
+        for i in 0..5u8 {
+            let p = pool.allocate().unwrap();
+            p.write(|pg| pg.insert(&[i]).unwrap());
+            ids.push(p.id());
+        }
+        assert!(pool.resident() <= 2);
+        let (_, _, evictions, writebacks, allocations) = pool.stats().snapshot();
+        assert_eq!(allocations, 5);
+        assert!(evictions >= 3);
+        assert!(writebacks >= 3);
+        // all data survives eviction round trips
+        for (i, id) in ids.iter().enumerate() {
+            let p = pool.fetch(*id).unwrap();
+            assert_eq!(p.read(|pg| pg.read(0).unwrap().to_vec()), vec![i as u8]);
+        }
+    }
+
+    #[test]
+    fn pinned_frames_are_not_evicted() {
+        let pool = BufferPool::new(2, 256);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        // both pinned: allocating a third must fail
+        assert_eq!(pool.allocate().unwrap_err(), PoolError::NoEvictableFrame);
+        drop(a);
+        // now one frame is evictable
+        let c = pool.allocate().unwrap();
+        drop(b);
+        drop(c);
+    }
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let pool = BufferPool::new(2, 256);
+        let id = pool.allocate().unwrap().id();
+        let _ = pool.fetch(id).unwrap(); // hit
+        let id2 = pool.allocate().unwrap().id();
+        let _ = pool.allocate().unwrap().id(); // evicts id or id2
+        let _ = pool.fetch(id).unwrap();
+        let _ = pool.fetch(id2).unwrap();
+        let (hits, misses, _, _, _) = pool.stats().snapshot();
+        assert!(hits >= 1);
+        assert!(misses >= 1);
+    }
+
+    #[test]
+    fn flush_all_writes_dirty_pages() {
+        let pool = BufferPool::new(4, 256);
+        let p = pool.allocate().unwrap();
+        p.write(|pg| pg.insert(b"x").unwrap());
+        let id = p.id();
+        drop(p);
+        pool.flush_all();
+        // drop from residence by filling the pool
+        for _ in 0..4 {
+            let _ = pool.allocate().unwrap();
+        }
+        let p = pool.fetch(id).unwrap();
+        assert_eq!(p.read(|pg| pg.read(0).unwrap().to_vec()), b"x");
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let pool = BufferPool::new(8, 256);
+        let id = pool.allocate().unwrap().id();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let p = pool.fetch(id).unwrap();
+                        p.write(|pg| {
+                            pg.insert(&[i]).ok();
+                        });
+                        let _ = p.read(|pg| pg.live_records());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let p = pool.fetch(id).unwrap();
+        assert!(p.read(|pg| pg.live_records()) > 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! The paper's §1 motivation: "consider a publication system which allows
+//! the cooperative editing of documents by several authors (like this
+//! paper). Every author wants to write down his ideas immediately."
+//!
+//! Four authors edit disjoint sections of one shared document whose
+//! sections happen to share storage pages. Under conventional page-level
+//! two-phase locking the authors serialize on the page; under the
+//! open-nested semantic protocol each author holds only a section-level
+//! lock for the session and touches the page briefly per write.
+//!
+//! Run with: `cargo run --example cooperative_editing`
+
+use oodb::sim::{
+    compile_editing, editing_workload, run_simulation, EditWorkloadConfig, LogicalDocConfig,
+    Protocol, SimConfig,
+};
+
+fn main() {
+    let workload = EditWorkloadConfig {
+        authors: 4,
+        sections: 4,
+        steps_per_author: 5,
+        overlap: 0.0, // disjoint sections: the ideal cooperative case
+        step_duration: 10,
+        seed: 7,
+    };
+    let sessions = editing_workload(&workload);
+    let doc = LogicalDocConfig {
+        sections_per_page: 4, // all sections on one page: false sharing
+        sections: 4,
+    };
+
+    println!("4 authors x 5 edits of 10 ticks, disjoint sections, one shared page\n");
+    println!(
+        "{:<14} {:>9} {:>11} {:>10} {:>10}",
+        "protocol", "makespan", "wait-ticks", "deadlocks", "resp(avg)"
+    );
+    let mut results = Vec::new();
+    for p in Protocol::all() {
+        let compiled = compile_editing(&sessions, &doc, p);
+        let m = run_simulation(&compiled, &SimConfig::default());
+        println!(
+            "{:<14} {:>9} {:>11} {:>10} {:>10.1}",
+            p.name(),
+            m.makespan,
+            m.wait_ticks,
+            m.deadlock_aborts,
+            m.mean_response
+        );
+        results.push((p, m));
+    }
+
+    let open = &results.iter().find(|(p, _)| *p == Protocol::OpenNested).unwrap().1;
+    let page = &results.iter().find(|(p, _)| *p == Protocol::PageTwoPhase).unwrap().1;
+    println!(
+        "\nopen-nested finishes {:.1}x faster than page 2PL on this workload",
+        page.makespan as f64 / open.makespan as f64
+    );
+    assert!(open.makespan < page.makespan);
+
+    // With overlapping sections the semantic advantage shrinks: authors
+    // genuinely conflict, and no protocol can save that.
+    let overlapping = EditWorkloadConfig {
+        overlap: 0.8,
+        ..workload
+    };
+    let sessions = editing_workload(&overlapping);
+    println!("\nsame setup with 80% section overlap (real conflicts):");
+    for p in Protocol::all() {
+        let compiled = compile_editing(&sessions, &doc, p);
+        let m = run_simulation(&compiled, &SimConfig::default());
+        println!(
+            "{:<14} makespan {:>6}  waits {:>6}  deadlocks {}",
+            p.name(),
+            m.makespan,
+            m.wait_ticks,
+            m.deadlock_aborts
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # oodb — object-oriented serializability, end to end
+//!
+//! Facade over the workspace crates reproducing *"Serializability in
+//! Object-Oriented Database Systems"* (Rakow, Gu, Neuhold; ICDE 1990):
+//!
+//! * [`core`] — the paper's formal machinery: open nested transactions,
+//!   commutativity, per-object schedules, dependency inheritance,
+//!   oo-serializability checkers (plus conventional and multi-level
+//!   baselines);
+//! * [`model`] — a VODAK-like encapsulated object model with method
+//!   dispatch recording the call trees;
+//! * [`storage`] — simulated slotted pages behind a buffer pool;
+//! * [`btree`] — the encyclopedia substrate: B-link tree + item list;
+//! * [`lock`] — semantic lock manager, open/closed nesting, escrow;
+//! * [`recovery`] — write-ahead logging and ARIES-lite crash recovery
+//!   for the page substrate;
+//! * [`sim`] — workloads, executors, and the experiment measurements.
+//!
+//! Start with `examples/quickstart.rs`, then `examples/encyclopedia.rs`.
+
+pub use oodb_btree as btree;
+pub use oodb_core as core;
+pub use oodb_lock as lock;
+pub use oodb_model as model;
+pub use oodb_recovery as recovery;
+pub use oodb_sim as sim;
+pub use oodb_storage as storage;

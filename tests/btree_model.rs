@@ -1,0 +1,125 @@
+//! Model-based testing of the B-link tree and the encyclopedia against
+//! `std::collections::BTreeMap` as the oracle, under random operation
+//! sequences (inserts, deletes, searches, scans) that force splits.
+
+use oodb::btree::{required_page_size, BLinkTree, Encyclopedia, EncyclopediaConfig};
+use oodb::model::Recorder;
+use oodb::storage::BufferPool;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16),
+    Delete(u16),
+    Search(u16),
+    Scan,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u16..200).prop_map(Op::Insert),
+        1 => (0u16..200).prop_map(Op::Delete),
+        2 => (0u16..200).prop_map(Op::Search),
+        1 => Just(Op::Scan),
+    ]
+}
+
+fn key_of(i: u16) -> String {
+    format!("k{i:05}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tree agrees with a BTreeMap oracle operation by operation, and
+    /// its structural invariants hold after every mutation.
+    #[test]
+    fn tree_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..120),
+                             fanout in 2usize..8) {
+        let rec = Recorder::new();
+        let pool = BufferPool::new(512, required_page_size(fanout));
+        let mut tree = BLinkTree::create(pool, rec.clone(), "T", fanout);
+        let mut oracle: BTreeMap<String, u64> = BTreeMap::new();
+        let mut ctx = rec.begin_txn("Ops");
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Insert(k) => {
+                    let key = key_of(*k);
+                    let fresh = tree.insert(&mut ctx, &key, i as u64);
+                    let oracle_fresh = oracle.insert(key, i as u64).is_none();
+                    prop_assert_eq!(fresh, oracle_fresh);
+                }
+                Op::Delete(k) => {
+                    let key = key_of(*k);
+                    prop_assert_eq!(tree.delete(&mut ctx, &key), oracle.remove(&key));
+                }
+                Op::Search(k) => {
+                    let key = key_of(*k);
+                    prop_assert_eq!(tree.search(&mut ctx, &key), oracle.get(&key).copied());
+                }
+                Op::Scan => {
+                    let scanned = tree.scan(&mut ctx);
+                    let expected: Vec<(String, u64)> =
+                        oracle.iter().map(|(k, v)| (k.clone(), *v)).collect();
+                    prop_assert_eq!(scanned, expected);
+                }
+            }
+            tree.check_integrity().map_err(|e| {
+                TestCaseError::fail(format!("integrity after op {i}: {e}"))
+            })?;
+        }
+        drop(ctx);
+        // final full comparison
+        let mut ctx = rec.begin_txn("Final");
+        let scanned = tree.scan(&mut ctx);
+        let expected: Vec<(String, u64)> = oracle.into_iter().collect();
+        prop_assert_eq!(scanned, expected);
+        drop(ctx);
+    }
+
+    /// The encyclopedia facade keeps index and item list consistent.
+    #[test]
+    fn encyclopedia_matches_hashmap(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let rec = Recorder::new();
+        let mut enc = Encyclopedia::create(
+            rec.clone(),
+            EncyclopediaConfig { fanout: 4, ..Default::default() },
+        );
+        let mut oracle: BTreeMap<String, String> = BTreeMap::new();
+        let mut ctx = rec.begin_txn("Ops");
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Insert(k) => {
+                    let key = key_of(*k);
+                    let text = format!("v{i}");
+                    let inserted = enc.insert(&mut ctx, &key, &text);
+                    if let std::collections::btree_map::Entry::Vacant(e) = oracle.entry(key) {
+                        prop_assert!(inserted.is_some());
+                        e.insert(text);
+                    } else {
+                        prop_assert!(inserted.is_none());
+                    }
+                }
+                Op::Delete(k) => {
+                    let key = key_of(*k);
+                    prop_assert_eq!(enc.delete(&mut ctx, &key), oracle.remove(&key).is_some());
+                }
+                Op::Search(k) => {
+                    let key = key_of(*k);
+                    prop_assert_eq!(enc.search(&mut ctx, &key), oracle.get(&key).cloned());
+                }
+                Op::Scan => {
+                    let items = enc.read_seq(&mut ctx);
+                    prop_assert_eq!(items.len(), oracle.len());
+                    for (_, k, v) in &items {
+                        prop_assert_eq!(oracle.get(k), Some(v));
+                    }
+                }
+            }
+        }
+        drop(ctx);
+        enc.tree().check_integrity().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(enc.list().len(), oracle.len());
+    }
+}
