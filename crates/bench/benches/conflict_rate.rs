@@ -17,14 +17,18 @@ fn bench_conflict_rates(c: &mut Criterion) {
             skew: Skew::Uniform,
             seed: 21,
         };
-        group.bench_with_input(BenchmarkId::new("replay+measure", fanout), &fanout, |b, &f| {
-            b.iter(|| {
-                let out = replay_encyclopedia(&cfg, f, 1);
-                let r = conflict_rates(&out.ts, &out.history, out.setup_txns);
-                assert!(r.oo_ordered_pairs <= r.conventional_ordered_pairs);
-                r.oo_ordered_pairs
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("replay+measure", fanout),
+            &fanout,
+            |b, &f| {
+                b.iter(|| {
+                    let out = replay_encyclopedia(&cfg, f, 1);
+                    let r = conflict_rates(&out.ts, &out.history, out.setup_txns);
+                    assert!(r.oo_ordered_pairs <= r.conventional_ordered_pairs);
+                    r.oo_ordered_pairs
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,54 @@
+//! Engine throughput across concurrency-control strategies and worker
+//! counts (the wall-clock side of experiment B9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oodb_engine::{CcKind, EngineConfig};
+use oodb_sim::{encyclopedia_workload, EncMix, EncWorkload, EncWorkloadConfig, Skew};
+
+fn workload() -> EncWorkload {
+    encyclopedia_workload(&EncWorkloadConfig {
+        txns: 16,
+        ops_per_txn: 4,
+        key_space: 32,
+        preload: 16,
+        mix: EncMix::update_heavy(),
+        skew: Skew::Zipf(0.8),
+        seed: 31,
+    })
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for &workers in &[2usize, 4, 8] {
+        for (kind, label) in [
+            (CcKind::Pessimistic, "semantic"),
+            (CcKind::PessimisticPage, "page"),
+            (CcKind::Optimistic, "optimistic"),
+        ] {
+            let cfg = EngineConfig {
+                workers,
+                queue_capacity: 32,
+                seed: 31,
+                audit: false, // time the execution, not the checker
+                ..EngineConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, workers),
+                &(cfg, kind),
+                |b, (cfg, kind)| {
+                    b.iter(|| {
+                        let out = oodb_engine::run_workload(cfg, *kind, &w);
+                        assert_eq!(out.metrics.committed, 16);
+                        out.metrics.committed
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -41,17 +41,21 @@ fn bench_overhead(c: &mut Criterion) {
             },
         );
         group.bench_with_input(
-            BenchmarkId::new("conventional-only", format!("{}actions", out.ts.action_count())),
+            BenchmarkId::new(
+                "conventional-only",
+                format!("{}actions", out.ts.action_count()),
+            ),
             &out,
-            |b, out| {
-                b.iter(|| check_conventional(&out.ts, &out.history).is_ok())
-            },
+            |b, out| b.iter(|| check_conventional(&out.ts, &out.history).is_ok()),
         );
         // the incremental engine fed the whole history — identical
         // relations except Definition 5 virtual-footprint seeds (which it
         // does not derive); measures the amortized per-edge cost profile
         group.bench_with_input(
-            BenchmarkId::new("incremental-feed", format!("{}actions", out.ts.action_count())),
+            BenchmarkId::new(
+                "incremental-feed",
+                format!("{}actions", out.ts.action_count()),
+            ),
             &out,
             |b, out| {
                 b.iter(|| {

@@ -44,10 +44,7 @@ fn render_trace(ts: &TransactionSystem, ss: &SystemSchedules) -> String {
                 label(ts, *to)
             ),
             Derivation::TxnDep {
-                object,
-                from,
-                to,
-                ..
+                object, from, to, ..
             } => format!(
                 "lift(D10) @{}: callers {} -> {}",
                 ts.object(*object).name,
@@ -61,9 +58,7 @@ fn render_trace(ts: &TransactionSystem, ss: &SystemSchedules) -> String {
                 label(ts, *from),
                 label(ts, *to)
             ),
-            Derivation::Added {
-                via, from, to, ..
-            } => format!(
+            Derivation::Added { via, from, to, .. } => format!(
                 "added(D15) via {}: {} -> {}",
                 ts.object(*via).name,
                 label(ts, *from),
@@ -121,7 +116,9 @@ pub fn fig1() -> String {
                         Value::Int(*amount),
                     ],
                 ),
-                BankOp::Balance { acc } => db.send(&mut ctx, &format!("acc{acc}"), "balance", vec![]),
+                BankOp::Balance { acc } => {
+                    db.send(&mut ctx, &format!("acc{acc}"), "balance", vec![])
+                }
             };
         }
         drop(ctx);
@@ -240,23 +237,29 @@ fn banking_schema() -> oodb_model::TypeRegistry {
             .method(
                 "balance",
                 primitive_method(|db, _ctx, this, _| {
-                    Ok(MethodOutcome::of(db.get_prop_or(this, "balance", Value::Int(0))))
+                    Ok(MethodOutcome::of(db.get_prop_or(
+                        this,
+                        "balance",
+                        Value::Int(0),
+                    )))
                 }),
             ),
     )
     .unwrap();
     reg.register(
-        ObjectType::new("Bank").with_spec(Arc::new(ReadWriteSpec)).method(
-            "transfer",
-            method(|db, ctx, _this, args| {
-                let from = args[0].as_str().unwrap().to_owned();
-                let to = args[1].as_str().unwrap().to_owned();
-                let amount = args[2].clone();
-                db.send(ctx, &from, "withdraw", vec![amount.clone()])?;
-                db.send(ctx, &to, "deposit", vec![amount])?;
-                Ok(oodb_model::MethodOutcome::unit())
-            }),
-        ),
+        ObjectType::new("Bank")
+            .with_spec(Arc::new(ReadWriteSpec))
+            .method(
+                "transfer",
+                method(|db, ctx, _this, args| {
+                    let from = args[0].as_str().unwrap().to_owned();
+                    let to = args[1].as_str().unwrap().to_owned();
+                    let amount = args[2].clone();
+                    db.send(ctx, &from, "withdraw", vec![amount.clone()])?;
+                    db.send(ctx, &to, "deposit", vec![amount])?;
+                    Ok(oodb_model::MethodOutcome::unit())
+                }),
+            ),
     )
     .unwrap();
     reg
@@ -274,9 +277,11 @@ pub fn fig2() -> String {
         },
     );
     let mut ctx = rec.begin_txn("Load");
-    for (i, k) in ["DBS", "DBMS", "IRS", "OODB", "SQL", "TXN", "CAD", "KBMS", "NF2", "GIS"]
-        .iter()
-        .enumerate()
+    for (i, k) in [
+        "DBS", "DBMS", "IRS", "OODB", "SQL", "TXN", "CAD", "KBMS", "NF2", "GIS",
+    ]
+    .iter()
+    .enumerate()
     {
         enc.insert(&mut ctx, k, &format!("item text {i}"));
     }
@@ -381,7 +386,16 @@ pub fn fig8() -> String {
     let (ts, h) = paper::example4();
     let ss = SystemSchedules::infer(&ts, &h);
     let mut out = String::from("FIG 8 — objects x schedule dependencies (Example 4)\n\n");
-    for name in ["Page4712", "Page4801", "Leaf11", "BpTree", "Item8", "LinkedList", "Enc", "S"] {
+    for name in [
+        "Page4712",
+        "Page4801",
+        "Leaf11",
+        "BpTree",
+        "Item8",
+        "LinkedList",
+        "Enc",
+        "S",
+    ] {
         let o = ts.object_by_name(name).unwrap();
         out.push_str(&ss.describe_object(&ts, o));
         out.push('\n');

@@ -217,7 +217,10 @@ mod tests {
         assert!(e.insert(&mut ctx, "DBS", "database systems").is_some());
         // duplicate insert refused
         assert!(e.insert(&mut ctx, "DBS", "other").is_none());
-        assert_eq!(e.search(&mut ctx, "DBS").as_deref(), Some("database systems"));
+        assert_eq!(
+            e.search(&mut ctx, "DBS").as_deref(),
+            Some("database systems")
+        );
         assert!(e.change(&mut ctx, "DBS", "updated"));
         assert_eq!(e.search(&mut ctx, "DBS").as_deref(), Some("updated"));
         assert!(e.delete(&mut ctx, "DBS"));
@@ -308,7 +311,10 @@ mod tests {
         let top = &ss.schedule(ts.system_object()).action_deps;
         let t3 = ts.top_level()[0];
         let t4 = ts.top_level()[1];
-        assert!(top.has_edge(&t3, &t4), "insert->search must order the roots");
+        assert!(
+            top.has_edge(&t3, &t4),
+            "insert->search must order the roots"
+        );
         assert!(analyze(&ts, &h).oo_decentralized.is_ok());
     }
 
@@ -344,8 +350,8 @@ mod tests {
         let mut t2 = rec.begin_txn("T2");
         let mut t3 = rec.begin_txn("T3");
         let before = e.range(&mut t1, "C", "H");
-        e.insert(&mut t2, "D", "phantom!");   // inside [C,H]
-        e.insert(&mut t3, "Z", "harmless");   // outside
+        e.insert(&mut t2, "D", "phantom!"); // inside [C,H]
+        e.insert(&mut t3, "Z", "harmless"); // outside
         drop(t1);
         drop(t2);
         drop(t3);

@@ -278,7 +278,10 @@ impl ItemList {
             entry.item_page = np;
             entry.item_slot = ns;
             let dir_pin = self.pool.fetch(dir_page).expect("dir page exists");
-            dir_pin.write(|p| p.update(dir_slot, &entry.encode()).expect("dir update fits"));
+            dir_pin.write(|p| {
+                p.update(dir_slot, &entry.encode())
+                    .expect("dir update fits")
+            });
             drop(dir_pin);
             ctx.page_write(self.page_object(dir_page));
         }
@@ -303,7 +306,10 @@ impl ItemList {
         entry.alive = false;
         ctx.page_read(self.page_object(dir_page));
         let pin = self.pool.fetch(dir_page).expect("dir page exists");
-        pin.write(|p| p.update(dir_slot, &entry.encode()).expect("dir update fits"));
+        pin.write(|p| {
+            p.update(dir_slot, &entry.encode())
+                .expect("dir update fits")
+        });
         drop(pin);
         ctx.page_write(self.page_object(dir_page));
         // delete content
@@ -329,7 +335,10 @@ impl ItemList {
             ctx.page_read(self.page_object(page));
             let entries = self.load_entries(page);
             for entry in entries.into_iter().filter(|e| e.alive) {
-                ctx.enter(self.item_object(entry.id), ActionDescriptor::nullary("read"));
+                ctx.enter(
+                    self.item_object(entry.id),
+                    ActionDescriptor::nullary("read"),
+                );
                 ctx.page_read(self.page_object(entry.item_page));
                 let pin = self.pool.fetch(entry.item_page).expect("item page exists");
                 let text = pin.read(|p| {
@@ -379,8 +388,14 @@ mod tests {
         let mut ctx = rec.begin_txn("T1");
         let a = l.insert(&mut ctx, "DBS", "database systems");
         let b = l.insert(&mut ctx, "DBMS", "management systems");
-        assert_eq!(l.read_item(&mut ctx, a).as_deref(), Some("database systems"));
-        assert_eq!(l.read_item(&mut ctx, b).as_deref(), Some("management systems"));
+        assert_eq!(
+            l.read_item(&mut ctx, a).as_deref(),
+            Some("database systems")
+        );
+        assert_eq!(
+            l.read_item(&mut ctx, b).as_deref(),
+            Some("management systems")
+        );
         assert_eq!(l.len(), 2);
         drop(ctx);
     }

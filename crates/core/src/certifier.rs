@@ -155,7 +155,10 @@ impl Certifier {
         history: &History,
         candidate: TxnIdx,
     ) -> CommitOutcome {
-        assert!(self.is_live(candidate), "transaction {candidate} already finalized");
+        assert!(
+            self.is_live(candidate),
+            "transaction {candidate} already finalized"
+        );
         self.stats.attempts += 1;
 
         if self.wait_policy == WaitPolicy::Require {
@@ -199,12 +202,7 @@ impl Certifier {
     /// Explicitly abort a live transaction (deadlocked waits, user abort).
     /// Returns the live transactions directly depending on it — they must
     /// cascade (the caller aborts and compensates them too).
-    pub fn abort(
-        &mut self,
-        ts: &TransactionSystem,
-        history: &History,
-        txn: TxnIdx,
-    ) -> Vec<TxnIdx> {
+    pub fn abort(&mut self, ts: &TransactionSystem, history: &History, txn: TxnIdx) -> Vec<TxnIdx> {
         assert!(self.is_live(txn), "transaction {txn} already finalized");
         self.aborted.insert(txn);
         self.stats.aborts += 1;
@@ -232,11 +230,7 @@ impl Certifier {
 
 /// The sub-history containing only primitives of transactions in `scope`,
 /// in the original order.
-fn restrict_history(
-    ts: &TransactionSystem,
-    history: &History,
-    scope: &HashSet<TxnIdx>,
-) -> History {
+fn restrict_history(ts: &TransactionSystem, history: &History, scope: &HashSet<TxnIdx>) -> History {
     let order: Vec<ActionIdx> = history
         .order()
         .iter()
@@ -310,9 +304,15 @@ mod tests {
             CommitOutcome::MustWait { on: TxnIdx(0) }
         );
         // T1 has no predecessors: commits
-        assert_eq!(cert.try_commit(&ts, &h, TxnIdx(0)), CommitOutcome::Committed);
+        assert_eq!(
+            cert.try_commit(&ts, &h, TxnIdx(0)),
+            CommitOutcome::Committed
+        );
         // now T2 passes
-        assert_eq!(cert.try_commit(&ts, &h, TxnIdx(1)), CommitOutcome::Committed);
+        assert_eq!(
+            cert.try_commit(&ts, &h, TxnIdx(1)),
+            CommitOutcome::Committed
+        );
         assert_eq!(cert.stats.waits, 1);
         assert_eq!(cert.stats.commits, 2);
     }
@@ -338,7 +338,10 @@ mod tests {
             assert!(more.is_empty());
         }
         // the independent T2 commits
-        assert_eq!(cert.try_commit(&ts, &h, TxnIdx(1)), CommitOutcome::Committed);
+        assert_eq!(
+            cert.try_commit(&ts, &h, TxnIdx(1)),
+            CommitOutcome::Committed
+        );
         // the committed sub-history is oo-serializable
         let committed = cert.committed_history(&ts, &h);
         let ss = SystemSchedules::infer(&ts, &committed);
@@ -349,15 +352,20 @@ mod tests {
     #[test]
     fn ignore_policy_restores_first_committer_wins() {
         let (ts, h) = contended_system();
-        let mut cert =
-            Certifier::new(CertifierMode::Paper).with_wait_policy(WaitPolicy::Ignore);
-        assert_eq!(cert.try_commit(&ts, &h, TxnIdx(0)), CommitOutcome::Committed);
+        let mut cert = Certifier::new(CertifierMode::Paper).with_wait_policy(WaitPolicy::Ignore);
+        assert_eq!(
+            cert.try_commit(&ts, &h, TxnIdx(0)),
+            CommitOutcome::Committed
+        );
         // T3 closes the cycle against committed T1: validation aborts it
         assert!(matches!(
             cert.try_commit(&ts, &h, TxnIdx(2)),
             CommitOutcome::MustAbort(_)
         ));
-        assert_eq!(cert.try_commit(&ts, &h, TxnIdx(1)), CommitOutcome::Committed);
+        assert_eq!(
+            cert.try_commit(&ts, &h, TxnIdx(1)),
+            CommitOutcome::Committed
+        );
         assert_eq!(cert.stats.commits, 2);
         assert_eq!(cert.stats.aborts, 1);
     }
@@ -401,8 +409,14 @@ mod tests {
         };
         let (ts, h) = build();
         let mut paper = Certifier::new(CertifierMode::Paper);
-        assert_eq!(paper.try_commit(&ts, &h, TxnIdx(0)), CommitOutcome::Committed);
-        assert_eq!(paper.try_commit(&ts, &h, TxnIdx(1)), CommitOutcome::Committed);
+        assert_eq!(
+            paper.try_commit(&ts, &h, TxnIdx(0)),
+            CommitOutcome::Committed
+        );
+        assert_eq!(
+            paper.try_commit(&ts, &h, TxnIdx(1)),
+            CommitOutcome::Committed
+        );
         assert_eq!(
             paper.try_commit(&ts, &h, TxnIdx(2)),
             CommitOutcome::Committed,
@@ -410,8 +424,14 @@ mod tests {
         );
         let (ts, h) = build();
         let mut global = Certifier::new(CertifierMode::Global);
-        assert_eq!(global.try_commit(&ts, &h, TxnIdx(0)), CommitOutcome::Committed);
-        assert_eq!(global.try_commit(&ts, &h, TxnIdx(1)), CommitOutcome::Committed);
+        assert_eq!(
+            global.try_commit(&ts, &h, TxnIdx(0)),
+            CommitOutcome::Committed
+        );
+        assert_eq!(
+            global.try_commit(&ts, &h, TxnIdx(1)),
+            CommitOutcome::Committed
+        );
         assert!(matches!(
             global.try_commit(&ts, &h, TxnIdx(2)),
             CommitOutcome::MustAbort(Violation::GlobalCycle { .. })

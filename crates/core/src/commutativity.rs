@@ -9,14 +9,13 @@
 //! semantic knowledge the concurrency machinery consumes.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// What the commutativity test sees of an action: the method name plus its
 /// parameter values, i.e. the paper's `m(parameters)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ActionDescriptor {
     /// Method (operation) name, e.g. `insert`, `search`, `read`, `write`.
     pub method: String,
@@ -235,10 +234,10 @@ impl CommutativitySpec for EscrowSpec {
             _ => None,
         };
         match (class(a), class(b)) {
-            (Some(2), Some(2)) => true,              // read/read
+            (Some(2), Some(2)) => true,                       // read/read
             (Some(2), Some(_)) | (Some(_), Some(2)) => false, // read vs update
-            (Some(1), Some(1)) => !self.bounded,     // withdraw/withdraw
-            (Some(_), Some(_)) => true,              // deposit with any update
+            (Some(1), Some(1)) => !self.bounded,              // withdraw/withdraw
+            (Some(_), Some(_)) => true,                       // deposit with any update
             _ => false,
         }
     }

@@ -138,11 +138,7 @@ impl InverseRegistry {
     /// text). Returns `None` for actions with no effect to undo (reads)
     /// and for methods without a known inverse (caller must then fall
     /// back to forbidding early release — i.e. closed nesting).
-    pub fn invert(
-        &self,
-        d: &ActionDescriptor,
-        saved: Option<&Value>,
-    ) -> Option<ActionDescriptor> {
+    pub fn invert(&self, d: &ActionDescriptor, saved: Option<&Value>) -> Option<ActionDescriptor> {
         if let Some(f) = self.custom.get(&d.method) {
             return f(d, saved);
         }
@@ -216,7 +212,9 @@ mod tests {
             ActionDescriptor::new("delete", vec![key("DBS")])
         );
         let del = ActionDescriptor::new("delete", vec![key("DBS")]);
-        let inv = reg.invert(&del, Some(&Value::Str("old text".into()))).unwrap();
+        let inv = reg
+            .invert(&del, Some(&Value::Str("old text".into())))
+            .unwrap();
         assert_eq!(inv.method, "insert");
         assert_eq!(inv.args.len(), 2);
         let dep = ActionDescriptor::new("deposit", vec![Value::Int(5)]);

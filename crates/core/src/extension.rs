@@ -121,7 +121,7 @@ mod tests {
     use crate::commutativity::{ActionDescriptor, KeyedSpec, ReadWriteSpec};
     use crate::history::History;
     use crate::schedule::SystemSchedules;
-    use crate::serializability::{check_system_global, analyze};
+    use crate::serializability::{analyze, check_system_global};
     use crate::value::key;
     use std::sync::Arc;
 

@@ -103,9 +103,10 @@ impl<N: Eq + Hash + Clone> DiGraph<N> {
 
     /// Iterate over all edges as node pairs.
     pub fn edges(&self) -> impl Iterator<Item = (&N, &N)> + '_ {
-        self.succs.iter().enumerate().flat_map(move |(f, ts)| {
-            ts.iter().map(move |&t| (&self.nodes[f], &self.nodes[t]))
-        })
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(move |(f, ts)| ts.iter().map(move |&t| (&self.nodes[f], &self.nodes[t])))
     }
 
     /// Successor nodes of `n` (empty if `n` is unknown).

@@ -6,19 +6,18 @@
 //! machinery uses dense arena indices ([`ActionIdx`], [`ObjectIdx`],
 //! [`TxnIdx`]) for efficiency.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense index of an object inside a [`crate::system::TransactionSystem`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectIdx(pub u32);
 
 /// Dense index of an action inside the action arena of a system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ActionIdx(pub u32);
 
 /// Dense index of a top-level transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxnIdx(pub u32);
 
 impl ObjectIdx {
@@ -69,7 +68,7 @@ impl fmt::Display for TxnIdx {
 /// further segment is the 1-based position among the siblings of one call
 /// level. The root action of transaction `T1` has path `[1]`, its second
 /// child `[1, 2]`, and so on.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ActionPath(Vec<u32>);
 
 impl ActionPath {
@@ -80,7 +79,10 @@ impl ActionPath {
 
     /// Create a path from raw segments. Panics if `segments` is empty.
     pub fn new(segments: Vec<u32>) -> Self {
-        assert!(!segments.is_empty(), "an action path has at least one segment");
+        assert!(
+            !segments.is_empty(),
+            "an action path has at least one segment"
+        );
         ActionPath(segments)
     }
 

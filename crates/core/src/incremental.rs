@@ -76,7 +76,13 @@ impl IncrementalSchedules {
     }
 
     /// Add an action dependency and run the lift/inherit worklist.
-    fn add_action_dep(&mut self, ts: &TransactionSystem, o: ObjectIdx, from: ActionIdx, to: ActionIdx) {
+    fn add_action_dep(
+        &mut self,
+        ts: &TransactionSystem,
+        o: ObjectIdx,
+        from: ActionIdx,
+        to: ActionIdx,
+    ) {
         self.ensure_objects(ts);
         if !self.action_deps[o.as_usize()].add_edge(from, to) {
             return; // already known: nothing new can follow from it
@@ -201,9 +207,7 @@ mod tests {
     fn incremental_equals_batch_on_full_replay() {
         let (ts, prims) = example_system();
         // an interleaved order
-        let order = vec![
-            prims[0], prims[2], prims[4], prims[1], prims[3], prims[5],
-        ];
+        let order = vec![prims[0], prims[2], prims[4], prims[1], prims[3], prims[5]];
         let h = History::from_order(&ts, &order).unwrap();
         let batch = SystemSchedules::infer(&ts, &h);
         let mut inc = IncrementalSchedules::new();
@@ -227,8 +231,10 @@ mod tests {
         // T3 (different key) stays unordered
         inc.on_primitive(&ts, prims[4]);
         inc.on_primitive(&ts, prims[5]);
-        assert!(!inc.top_level_deps().contains_node(&tops[2]) ||
-            inc.top_level_deps().successors(&tops[2]).count() == 0);
+        assert!(
+            !inc.top_level_deps().contains_node(&tops[2])
+                || inc.top_level_deps().successors(&tops[2]).count() == 0
+        );
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub mod compensation;
 pub mod extension;
 pub mod graph;
 pub mod history;
-pub mod incremental;
 pub mod ids;
+pub mod incremental;
 pub mod schedule;
 pub mod serializability;
 pub mod system;
@@ -68,22 +68,23 @@ pub mod value;
 
 /// Convenience re-exports of the items almost every user needs.
 pub mod prelude {
+    pub use crate::certifier::{
+        Certifier, CertifierMode, CertifierStats, CommitOutcome, WaitPolicy,
+    };
     pub use crate::commutativity::{
         ActionDescriptor, AllCommute, AllConflict, CommutativitySpec, EscrowSpec, KeyedSpec,
         MatrixSpec, RangeSpec, ReadWriteSpec, SameKeyRule, SpecRef,
     };
-    pub use crate::certifier::{Certifier, CertifierMode, CertifierStats, CommitOutcome, WaitPolicy};
     pub use crate::compensation::{CompensationLog, Inverse, InverseRegistry};
     pub use crate::extension::{extend_virtual_objects, ExtensionReport};
     pub use crate::graph::DiGraph;
     pub use crate::history::{History, HistoryError};
-    pub use crate::incremental::IncrementalSchedules;
     pub use crate::ids::{ActionIdx, ActionPath, ObjectIdx, TxnIdx};
+    pub use crate::incremental::IncrementalSchedules;
     pub use crate::schedule::{conventional_deps, Derivation, ObjectSchedule, SystemSchedules};
     pub use crate::serializability::{
-        analyze, check_conventional, check_multilevel, check_object,
-        check_system_decentralized, check_system_global, projected_txn_deps, SerializabilityReport,
-        Violation,
+        analyze, check_conventional, check_multilevel, check_object, check_system_decentralized,
+        check_system_global, projected_txn_deps, SerializabilityReport, Violation,
     };
     pub use crate::system::{ActionInfo, ObjectInfo, TransactionSystem, TxnBuilder};
     pub use crate::value::{key, Value};

@@ -89,10 +89,18 @@ impl ObjectSchedule {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Derivation {
     /// Axiom 1: conflicting primitives ordered by the history.
-    PrimitiveOrder { object: ObjectIdx, from: ActionIdx, to: ActionIdx },
+    PrimitiveOrder {
+        object: ObjectIdx,
+        from: ActionIdx,
+        to: ActionIdx,
+    },
     /// Definition 5 seeding: a pair involving a virtual duplicate, ordered
     /// by disjoint execution footprints.
-    VirtualFootprint { object: ObjectIdx, from: ActionIdx, to: ActionIdx },
+    VirtualFootprint {
+        object: ObjectIdx,
+        from: ActionIdx,
+        to: ActionIdx,
+    },
     /// Definition 10: a conflicting, ordered action pair lifted to its
     /// callers as a transaction dependency.
     TxnDep {
@@ -222,8 +230,7 @@ impl SystemSchedules {
                         if !schedules[o].action_deps.has_edge(&x, &y) {
                             continue;
                         }
-                        let (Some(t), Some(u)) = (ts.action(x).parent, ts.action(y).parent)
-                        else {
+                        let (Some(t), Some(u)) = (ts.action(x).parent, ts.action(y).parent) else {
                             continue; // top-level actions have no callers
                         };
                         if t == u {
@@ -555,7 +562,10 @@ mod tests {
             .trace()
             .iter()
             .any(|d| matches!(d, Derivation::PrimitiveOrder { .. })));
-        assert!(ss.trace().iter().any(|d| matches!(d, Derivation::TxnDep { .. })));
+        assert!(ss
+            .trace()
+            .iter()
+            .any(|d| matches!(d, Derivation::TxnDep { .. })));
         assert!(ss
             .trace()
             .iter()

@@ -35,13 +35,22 @@ use std::collections::HashMap;
 pub enum Violation {
     /// The transaction dependency relation of an object is cyclic: no
     /// equivalent serial object schedule exists (Definition 13 (i)).
-    TxnDepCycle { object: ObjectIdx, cycle: Vec<ActionIdx> },
+    TxnDepCycle {
+        object: ObjectIdx,
+        cycle: Vec<ActionIdx>,
+    },
     /// The action dependency relation of an object is cyclic — conflicting
     /// accesses saw an inconsistent state (Definition 13 (ii)).
-    ActionDepCycle { object: ObjectIdx, cycle: Vec<ActionIdx> },
+    ActionDepCycle {
+        object: ObjectIdx,
+        cycle: Vec<ActionIdx>,
+    },
     /// The combined (action ∪ added) relation of an object is cyclic
     /// (Definition 16 (ii)).
-    AddedDepCycle { object: ObjectIdx, cycle: Vec<ActionIdx> },
+    AddedDepCycle {
+        object: ObjectIdx,
+        cycle: Vec<ActionIdx>,
+    },
     /// The global dependency graph is cyclic.
     GlobalCycle { cycle: Vec<ActionIdx> },
     /// The conventional (primitive-level) conflict graph over top-level

@@ -133,7 +133,10 @@ impl TransactionSystem {
         let base = self.objects[original.as_usize()].name.clone();
         let mut n = 1usize;
         let name = loop {
-            let candidate = format!("{base}'{}", if n == 1 { String::new() } else { n.to_string() });
+            let candidate = format!(
+                "{base}'{}",
+                if n == 1 { String::new() } else { n.to_string() }
+            );
             if !self.by_name.contains_key(&candidate) {
                 break candidate;
             }
@@ -426,7 +429,12 @@ impl<'a> TxnBuilder<'a> {
         *self.stack.last().expect("builder stack never empty")
     }
 
-    fn add_child(&mut self, object: ObjectIdx, descriptor: ActionDescriptor, process: Option<u32>) -> ActionIdx {
+    fn add_child(
+        &mut self,
+        object: ObjectIdx,
+        descriptor: ActionDescriptor,
+        process: Option<u32>,
+    ) -> ActionIdx {
         let parent = self.cur();
         let parent_info = self.ts.action(parent);
         let n = parent_info.children.len() as u32 + 1;

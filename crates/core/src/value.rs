@@ -5,11 +5,10 @@
 //! `insert(DBMS)` on a B⁺-tree node because the keys differ). [`Value`] is
 //! the small dynamic value type those parameters are drawn from.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dynamically typed method argument.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// No payload.
     Unit,

@@ -76,7 +76,12 @@ const KEYS: [&str; 4] = ["DBS", "DBMS", "OODB", "IRS"];
 fn build(plan: &SystemPlan) -> (TransactionSystem, Vec<Vec<ActionIdx>>) {
     let mut ts = TransactionSystem::new();
     let leaves: Vec<ObjectIdx> = (0..plan.n_leaves)
-        .map(|i| ts.add_object(format!("Leaf{i}"), Arc::new(KeyedSpec::search_structure("leaf"))))
+        .map(|i| {
+            ts.add_object(
+                format!("Leaf{i}"),
+                Arc::new(KeyedSpec::search_structure("leaf")),
+            )
+        })
         .collect();
     let pages: Vec<ObjectIdx> = (0..plan.n_pages)
         .map(|i| ts.add_object(format!("Page{i}"), Arc::new(ReadWriteSpec)))

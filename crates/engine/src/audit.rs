@@ -1,0 +1,52 @@
+//! Post-hoc serializability audit of an engine run.
+
+use crate::cc::ConcurrencyControl;
+use oodb_core::history::History;
+use oodb_core::prelude::{analyze, extend_virtual_objects, SerializabilityReport};
+use oodb_core::system::TransactionSystem;
+use oodb_model::Recorder;
+
+/// What part of the record the audit verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditScope {
+    /// The complete record: forward work, aborted attempts, and their
+    /// compensations. Strict 2PL keeps even this oo-serializable.
+    FullRecord,
+    /// Only committed transactions — the projection an optimistic
+    /// certifier guarantees (aborted attempts may have observed state
+    /// that was later compensated away).
+    CommittedOnly,
+}
+
+/// The verified record of a finished engine run.
+pub struct AuditOutput {
+    /// The recorded, Definition 5-extended transaction system.
+    pub ts: TransactionSystem,
+    /// The audited history (scope per [`AuditOutput::scope`]).
+    pub history: History,
+    /// Checker verdicts over the audited history.
+    pub report: SerializabilityReport,
+    /// Which sub-history was verified.
+    pub scope: AuditScope,
+}
+
+/// Snapshot the recorder, extend virtual objects (Definition 5), restrict
+/// to the protocol's guaranteed scope, and run every checker.
+pub fn audit(rec: &Recorder, cc: &dyn ConcurrencyControl) -> AuditOutput {
+    let (mut ts, history) = rec.snapshot();
+    extend_virtual_objects(&mut ts);
+    match cc.committed_projection(&ts, &history) {
+        Some(committed) => AuditOutput {
+            report: analyze(&ts, &committed),
+            history: committed,
+            scope: AuditScope::CommittedOnly,
+            ts,
+        },
+        None => AuditOutput {
+            report: analyze(&ts, &history),
+            history,
+            scope: AuditScope::FullRecord,
+            ts,
+        },
+    }
+}

@@ -1,0 +1,128 @@
+//! The pluggable concurrency-control interface.
+//!
+//! The engine's worker loop is protocol-agnostic: it executes operations,
+//! commits, compensates, and retries. Everything protocol-specific —
+//! when an operation may run, when a transaction may commit, what happens
+//! on abort — goes through [`ConcurrencyControl`]. Two implementations
+//! ship:
+//!
+//! * [`PessimisticCc`] — semantic strict 2PL with deadlock detection and
+//!   compensation-based victim abort (the paper's §4–§5 protocol, the one
+//!   [`oodb_sim::threaded`] runs thread-per-transaction);
+//! * [`OptimisticCc`] — execute first, certify at commit against
+//!   Definition 16 via [`oodb_core::certifier::Certifier`], with commit
+//!   dependencies (recoverability) and cascading aborts.
+
+mod optimistic;
+mod pessimistic;
+
+pub use optimistic::OptimisticCc;
+pub use pessimistic::PessimisticCc;
+
+use crate::metrics::EngineMetrics;
+use oodb_btree::CompensatedEncyclopedia;
+use oodb_core::history::History;
+use oodb_core::ids::TxnIdx;
+use oodb_core::system::TransactionSystem;
+use oodb_lock::OwnerId;
+use oodb_model::Recorder;
+use oodb_sim::EncOp;
+use parking_lot::Mutex;
+
+/// Execution environment shared by every worker and the concurrency
+/// control: the recorder, the database, and the metrics sink.
+pub struct EngineShared {
+    /// Recorder underlying all transactions (call trees + history).
+    pub rec: Recorder,
+    /// The shared compensated encyclopedia all transactions touch.
+    pub enc: Mutex<CompensatedEncyclopedia>,
+    /// Atomic counters and latency histograms.
+    pub metrics: EngineMetrics,
+}
+
+/// Identity of one transaction *attempt* (each retry gets a fresh
+/// recorded transaction, hence a fresh handle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnHandle {
+    /// The logical job this attempt executes.
+    pub job: u64,
+    /// 0-based attempt number (0 = first execution).
+    pub attempt: u32,
+    /// The recorded transaction of this attempt.
+    pub txn: TxnIdx,
+    /// Lock-owner identity of this attempt.
+    pub owner: OwnerId,
+}
+
+/// Decision for one operation, returned by
+/// [`ConcurrencyControl::before_op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpGrant {
+    /// The operation may execute now.
+    Granted,
+    /// The attempt must abort (e.g. chosen as a deadlock victim while
+    /// waiting for the grant). The worker compensates and retries.
+    AbortVictim,
+}
+
+/// Decision at commit point, returned by
+/// [`ConcurrencyControl::try_finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishOutcome {
+    /// The transaction is (or may now be) committed.
+    Committed,
+    /// A live predecessor must finalize first; ask again shortly. The
+    /// worker bounds the number of wait rounds and aborts to break
+    /// wait cycles.
+    Wait,
+    /// The transaction must abort (validation failure, doomed by a
+    /// cascading abort). The worker compensates and retries.
+    Abort,
+}
+
+/// Protocol hooks invoked by the worker loop. Implementations are shared
+/// across workers and must be internally synchronized.
+pub trait ConcurrencyControl: Send + Sync {
+    /// Human-readable strategy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Gate one operation. Pessimistic implementations block here until
+    /// the semantic lock is granted (or the attempt is chosen as a
+    /// deadlock victim); optimistic ones return immediately.
+    fn before_op(&self, shared: &EngineShared, txn: &TxnHandle, op: &EncOp) -> OpGrant;
+
+    /// Attempt to finish the transaction after all operations executed.
+    /// On [`FinishOutcome::Committed`] the worker commits the database
+    /// transaction and then calls [`after_commit`](Self::after_commit).
+    fn try_finish(&self, shared: &EngineShared, txn: &TxnHandle) -> FinishOutcome;
+
+    /// Called after the database commit of a finished transaction
+    /// (release locks, bookkeeping).
+    fn after_commit(&self, shared: &EngineShared, txn: &TxnHandle);
+
+    /// Called after the worker compensated an aborted attempt (release
+    /// locks, register the abort, doom dependents).
+    fn after_abort(&self, shared: &EngineShared, txn: &TxnHandle);
+
+    /// True when a cascading abort has doomed this attempt; the worker
+    /// checks between operations and aborts promptly.
+    fn is_doomed(&self, _txn: &TxnHandle) -> bool {
+        false
+    }
+
+    /// True when compensations run under protection (locks still held),
+    /// in which case a failed inverse is an engine bug and the worker
+    /// asserts. Optimistic execution cannot promise this.
+    fn strict_compensation(&self) -> bool {
+        false
+    }
+
+    /// The sub-history the shutdown audit should verify: `None` audits
+    /// the complete record (sound for strict 2PL — forward work, aborted
+    /// attempts, and compensations all oo-serializable), `Some` restricts
+    /// to what the protocol actually guarantees (the committed projection
+    /// under optimistic certification).
+    fn committed_projection(&self, _ts: &TransactionSystem, _history: &History) -> Option<History> {
+        None
+    }
+}

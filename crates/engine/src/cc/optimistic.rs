@@ -1,0 +1,142 @@
+//! Optimistic certification: execute without semantic locks, validate
+//! oo-serializability at commit, cascade aborts through commit
+//! dependencies.
+
+use super::{ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, TxnHandle};
+use oodb_core::certifier::{Certifier, CertifierMode, CommitOutcome};
+use oodb_core::history::History;
+use oodb_core::ids::TxnIdx;
+use oodb_core::schedule::SystemSchedules;
+use oodb_core::system::TransactionSystem;
+use oodb_sim::EncOp;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+
+/// Backward-validation concurrency control over the shared
+/// [`Certifier`].
+///
+/// Operations always execute immediately (the encyclopedia mutex makes
+/// each one atomic); at commit the certifier checks Definition 16 over
+/// the committed transactions plus the candidate. Because execution is
+/// uncontrolled, a transaction may read state a concurrent transaction
+/// later compensates away — the certifier's commit dependencies force
+/// readers to wait for their predecessors ([`CommitOutcome::MustWait`]),
+/// and an abort dooms its live dependents (cascading abort), which the
+/// workers pick up via [`is_doomed`](ConcurrencyControl::is_doomed).
+pub struct OptimisticCc {
+    cert: Mutex<Certifier>,
+    doomed: Mutex<HashSet<TxnIdx>>,
+    name: &'static str,
+}
+
+impl OptimisticCc {
+    /// Certify against the paper's decentralized Definition 16.
+    pub fn new() -> Self {
+        Self::with_mode(CertifierMode::Paper)
+    }
+
+    /// Certify against the chosen serializability check.
+    pub fn with_mode(mode: CertifierMode) -> Self {
+        OptimisticCc {
+            cert: Mutex::new(Certifier::new(mode)),
+            doomed: Mutex::new(HashSet::new()),
+            name: match mode {
+                CertifierMode::Paper => "optimistic",
+                CertifierMode::Global => "optimistic-global",
+            },
+        }
+    }
+
+    /// Live transactions that depend on `txn` (read its effects): the
+    /// cascade set of an abort whose victim already left the live set.
+    fn live_dependents(
+        cert: &Certifier,
+        ts: &TransactionSystem,
+        history: &History,
+        txn: TxnIdx,
+    ) -> Vec<TxnIdx> {
+        let ss = SystemSchedules::infer(ts, history);
+        let top = ss.top_level_deps(ts);
+        let me = ts.top_level()[txn.as_usize()];
+        let mut cascade = Vec::new();
+        for (f, t) in top.edges() {
+            if *f == me {
+                let dep = ts.action(*t).txn;
+                let live = !cert.committed().contains(&dep) && !cert.aborted().contains(&dep);
+                if live && dep != txn && !cascade.contains(&dep) {
+                    cascade.push(dep);
+                }
+            }
+        }
+        cascade
+    }
+}
+
+impl Default for OptimisticCc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrencyControl for OptimisticCc {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn before_op(&self, _shared: &EngineShared, txn: &TxnHandle, _op: &EncOp) -> OpGrant {
+        // no locks — but abort promptly if a cascade doomed this attempt
+        if self.doomed.lock().contains(&txn.txn) {
+            OpGrant::AbortVictim
+        } else {
+            OpGrant::Granted
+        }
+    }
+
+    fn try_finish(&self, shared: &EngineShared, txn: &TxnHandle) -> FinishOutcome {
+        if self.doomed.lock().contains(&txn.txn) {
+            return FinishOutcome::Abort;
+        }
+        let (ts, history) = shared.rec.snapshot();
+        let mut cert = self.cert.lock();
+        match cert.try_commit(&ts, &history, txn.txn) {
+            CommitOutcome::Committed => FinishOutcome::Committed,
+            CommitOutcome::MustWait { .. } => FinishOutcome::Wait,
+            CommitOutcome::MustAbort(_) => {
+                // the certifier already moved us to the aborted set; doom
+                // everyone who read our soon-compensated effects
+                let cascade = Self::live_dependents(&cert, &ts, &history, txn.txn);
+                drop(cert);
+                self.doomed.lock().extend(cascade);
+                FinishOutcome::Abort
+            }
+        }
+    }
+
+    fn after_commit(&self, _shared: &EngineShared, _txn: &TxnHandle) {}
+
+    fn after_abort(&self, shared: &EngineShared, txn: &TxnHandle) {
+        let (ts, history) = shared.rec.snapshot();
+        let mut cert = self.cert.lock();
+        let live = !cert.committed().contains(&txn.txn) && !cert.aborted().contains(&txn.txn);
+        let cascade = if live {
+            // victim abort (doomed, deadline, wait-cycle break): register
+            // it with the certifier, which reports the direct dependents
+            cert.abort(&ts, &history, txn.txn)
+        } else {
+            // validation failure: try_finish already doomed the cascade
+            Vec::new()
+        };
+        drop(cert);
+        let mut doomed = self.doomed.lock();
+        doomed.remove(&txn.txn); // this attempt is finished for good
+        doomed.extend(cascade);
+    }
+
+    fn is_doomed(&self, txn: &TxnHandle) -> bool {
+        self.doomed.lock().contains(&txn.txn)
+    }
+
+    fn committed_projection(&self, ts: &TransactionSystem, history: &History) -> Option<History> {
+        Some(self.cert.lock().committed_history(ts, history))
+    }
+}

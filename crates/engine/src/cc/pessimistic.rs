@@ -1,0 +1,110 @@
+//! Semantic strict two-phase locking with compensation-based deadlock
+//! victims — the paper's open-nested protocol as a worker-pool
+//! concurrency control.
+
+use super::{ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, TxnHandle};
+use oodb_core::commutativity::ActionDescriptor;
+use oodb_lock::{LockManager, LockOutcome};
+use oodb_sim::exec::{enc_lock_manager, op_descriptor, page_descriptor, ENC_RESOURCE};
+use oodb_sim::EncOp;
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Strict 2PL over the Enc-level lock: every operation acquires its lock
+/// mode before executing and holds it to commit (or through
+/// compensation, on abort). Deadlocks are detected by the blocked
+/// waiters themselves; the cycle member with the largest owner id aborts.
+///
+/// The lock *granularity* is pluggable: [`semantic`](PessimisticCc::semantic)
+/// uses the paper's per-operation commutativity descriptors,
+/// [`page_level`](PessimisticCc::page_level) flattens every operation to
+/// a whole-container read/write — the conventional baseline.
+pub struct PessimisticCc {
+    locks: Mutex<LockManager>,
+    released: Condvar,
+    descriptor: fn(&EncOp) -> ActionDescriptor,
+    name: &'static str,
+}
+
+impl PessimisticCc {
+    /// Semantic locking: commuting operations coexist.
+    pub fn semantic() -> Self {
+        PessimisticCc {
+            locks: Mutex::new(enc_lock_manager()),
+            released: Condvar::new(),
+            descriptor: op_descriptor,
+            name: "pessimistic",
+        }
+    }
+
+    /// Page-granularity ablation: any two updates conflict.
+    pub fn page_level() -> Self {
+        PessimisticCc {
+            locks: Mutex::new(enc_lock_manager()),
+            released: Condvar::new(),
+            descriptor: page_descriptor,
+            name: "pessimistic-page",
+        }
+    }
+
+    /// Block until the lock is granted; `false` means this owner was
+    /// chosen as a deadlock victim and must abort.
+    fn acquire_blocking(&self, txn: &TxnHandle, descriptor: &ActionDescriptor) -> bool {
+        let mut mgr = self.locks.lock();
+        loop {
+            match mgr.acquire(txn.owner, &[], ENC_RESOURCE, descriptor) {
+                LockOutcome::Granted => return true,
+                LockOutcome::Blocked { .. } => {
+                    // victim rule: largest owner id in a detected cycle
+                    // aborts (owners are txn numbers, so the youngest)
+                    if let Some(cycle) = mgr.find_deadlock(|o| o) {
+                        if cycle.contains(&txn.owner) && cycle.iter().max() == Some(&txn.owner) {
+                            mgr.clear_waiting(txn.owner);
+                            return false;
+                        }
+                    }
+                    self.released.wait_for(&mut mgr, Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    fn release(&self, txn: &TxnHandle) {
+        self.locks.lock().release_all(txn.owner);
+        self.released.notify_all();
+    }
+}
+
+impl ConcurrencyControl for PessimisticCc {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn before_op(&self, _shared: &EngineShared, txn: &TxnHandle, op: &EncOp) -> OpGrant {
+        if self.acquire_blocking(txn, &(self.descriptor)(op)) {
+            OpGrant::Granted
+        } else {
+            OpGrant::AbortVictim
+        }
+    }
+
+    fn try_finish(&self, _shared: &EngineShared, _txn: &TxnHandle) -> FinishOutcome {
+        // strict 2PL: reaching the commit point with all locks held IS
+        // the commit ticket
+        FinishOutcome::Committed
+    }
+
+    fn after_commit(&self, _shared: &EngineShared, txn: &TxnHandle) {
+        self.release(txn);
+    }
+
+    fn after_abort(&self, _shared: &EngineShared, txn: &TxnHandle) {
+        // locks were still held while the worker compensated — nobody
+        // observed uncommitted semantic state — release them now
+        self.release(txn);
+    }
+
+    fn strict_compensation(&self) -> bool {
+        true
+    }
+}

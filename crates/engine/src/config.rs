@@ -1,0 +1,99 @@
+//! Engine configuration: worker pool sizing, admission control, retry
+//! policy, and deadlines.
+
+use std::time::Duration;
+
+/// Which concurrency-control strategy the engine runs, and at what
+/// granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CcKind {
+    /// Semantic strict two-phase locking with deadlock detection and
+    /// compensation-based victim abort (the paper's open-nested
+    /// discipline, §4–§5).
+    #[default]
+    Pessimistic,
+    /// Pessimistic locking at page granularity: every operation is
+    /// flattened to a whole-container read or write. The conventional
+    /// baseline the paper argues against.
+    PessimisticPage,
+    /// Optimistic certification: transactions execute without semantic
+    /// locks and validate at commit against Definition 16, with commit
+    /// dependencies and cascading aborts.
+    Optimistic,
+}
+
+impl CcKind {
+    /// Short lowercase label used in metrics and experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CcKind::Pessimistic => "pessimistic",
+            CcKind::PessimisticPage => "pessimistic-page",
+            CcKind::Optimistic => "optimistic",
+        }
+    }
+}
+
+/// Tunables for an [`Engine`](crate::Engine) instance.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads processing transactions.
+    pub workers: usize,
+    /// Admission-queue capacity. [`Engine::submit`](crate::Engine::submit)
+    /// sheds (rejects) work when the queue is full;
+    /// [`Engine::submit_blocking`](crate::Engine::submit_blocking)
+    /// applies backpressure instead.
+    pub queue_capacity: usize,
+    /// Maximum retry attempts per transaction after aborts (deadlock
+    /// victim, validation failure). The first execution is attempt 0;
+    /// a job gives up after `max_retries` re-executions.
+    pub max_retries: u32,
+    /// Base delay of the exponential retry backoff (doubles per attempt).
+    pub base_backoff: Duration,
+    /// Cap on the backoff delay regardless of attempt count.
+    pub max_backoff: Duration,
+    /// Per-transaction deadline measured from submission; a job whose
+    /// deadline passes before it commits is dropped (counted as
+    /// `deadline_expired`). `None` disables deadlines.
+    pub txn_deadline: Option<Duration>,
+    /// Seed for the deterministic backoff jitter. Two engines with the
+    /// same seed produce identical retry schedules for the same job ids
+    /// and attempt numbers.
+    pub seed: u64,
+    /// B-link tree fanout of the underlying encyclopedia.
+    pub fanout: usize,
+    /// Record and verify the execution on shutdown: pessimistic runs
+    /// audit the complete record (including aborted attempts and their
+    /// compensations), optimistic runs audit the committed projection.
+    pub audit: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_retries: 8,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(20),
+            txn_deadline: None,
+            seed: 0,
+            fanout: 8,
+            audit: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_capacity >= c.workers);
+        assert!(c.base_backoff <= c.max_backoff);
+        assert_eq!(CcKind::default(), CcKind::Pessimistic);
+        assert_eq!(CcKind::Optimistic.label(), "optimistic");
+    }
+}

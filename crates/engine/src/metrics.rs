@@ -1,0 +1,240 @@
+//! Lock-free engine metrics: atomic counters plus fixed-bucket latency
+//! histograms, snapshotted on demand.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed latency histogram. Bucket `i` counts durations in
+/// `[2^i, 2^(i+1))` nanoseconds, so the full range spans 1 ns to ~584
+/// years with bounded, allocation-free recording.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        let ns = d.as_nanos().max(1) as u64;
+        let idx = (63 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The approximate `q`-quantile (`0.0 ..= 1.0`) as a duration: the
+    /// geometric midpoint of the bucket containing that rank. Returns
+    /// zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.len();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // geometric midpoint of [2^i, 2^(i+1))
+                let lo = 1u64 << i;
+                let mid = lo + lo / 2;
+                return Duration::from_nanos(mid);
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+}
+
+/// Shared engine counters. All updates are relaxed atomics; a
+/// [`snapshot`](EngineMetrics::snapshot) gives a consistent-enough view
+/// for reporting.
+#[derive(Debug)]
+pub struct EngineMetrics {
+    started_at: Instant,
+    /// Jobs admitted to the queue.
+    pub submitted: AtomicU64,
+    /// Jobs whose transaction committed.
+    pub committed: AtomicU64,
+    /// Jobs dropped after exhausting retries.
+    pub aborted: AtomicU64,
+    /// Abort-and-retry events (deadlock victims, validation failures,
+    /// wait-cycle breaks).
+    pub retries: AtomicU64,
+    /// Submissions rejected by admission control (queue full).
+    pub shed: AtomicU64,
+    /// Jobs dropped because their deadline passed before commit.
+    pub deadline_expired: AtomicU64,
+    /// Current admission-queue depth (gauge).
+    pub queue_depth: AtomicUsize,
+    /// Time spent acquiring operation grants (lock waits under
+    /// pessimistic control; certification waits show up in `e2e`).
+    pub lock_wait: Histogram,
+    /// End-to-end latency from submission to commit.
+    pub e2e: Histogram,
+}
+
+impl EngineMetrics {
+    /// Fresh metrics; the throughput clock starts now.
+    pub fn new() -> Self {
+        EngineMetrics {
+            started_at: Instant::now(),
+            submitted: AtomicU64::new(0),
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            lock_wait: Histogram::default(),
+            e2e: Histogram::default(),
+        }
+    }
+
+    /// A point-in-time copy of every counter plus derived rates.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let elapsed = self.started_at.elapsed();
+        let committed = self.committed.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            elapsed,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            committed,
+            aborted: self.aborted.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            throughput_per_sec: committed as f64 / elapsed.as_secs_f64().max(1e-9),
+            lock_wait_p50: self.lock_wait.quantile(0.50),
+            lock_wait_p99: self.lock_wait.quantile(0.99),
+            e2e_p50: self.e2e.quantile(0.50),
+            e2e_p99: self.e2e.quantile(0.99),
+        }
+    }
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Frozen view of [`EngineMetrics`] for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Wall-clock time since the engine started.
+    pub elapsed: Duration,
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Jobs committed.
+    pub committed: u64,
+    /// Jobs dropped after exhausting retries.
+    pub aborted: u64,
+    /// Abort-and-retry events.
+    pub retries: u64,
+    /// Submissions shed by admission control.
+    pub shed: u64,
+    /// Jobs dropped on deadline expiry.
+    pub deadline_expired: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Committed transactions per second since engine start.
+    pub throughput_per_sec: f64,
+    /// Median grant-acquisition wait.
+    pub lock_wait_p50: Duration,
+    /// 99th-percentile grant-acquisition wait.
+    pub lock_wait_p99: Duration,
+    /// Median submission-to-commit latency.
+    pub e2e_p50: Duration,
+    /// 99th-percentile submission-to-commit latency.
+    pub e2e_p99: Duration,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "committed {} ({:.0}/s) aborted {} retries {} shed {} expired {} depth {} \
+             lock-wait p50/p99 {:?}/{:?} e2e p50/p99 {:?}/{:?}",
+            self.committed,
+            self.throughput_per_sec,
+            self.aborted,
+            self.retries,
+            self.shed,
+            self.deadline_expired,
+            self.queue_depth,
+            self.lock_wait_p50,
+            self.lock_wait_p99,
+            self.e2e_p50,
+            self.e2e_p99,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_order() {
+        let h = Histogram::default();
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            for _ in 0..20 {
+                h.record(Duration::from_micros(us));
+            }
+        }
+        assert_eq!(h.len(), 100);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99);
+        assert!(
+            p99 >= Duration::from_micros(8),
+            "p99 {p99:?} spans top bucket"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = EngineMetrics::new();
+        m.submitted.fetch_add(5, Ordering::Relaxed);
+        m.committed.fetch_add(4, Ordering::Relaxed);
+        m.retries.fetch_add(2, Ordering::Relaxed);
+        m.shed.fetch_add(1, Ordering::Relaxed);
+        m.e2e.record(Duration::from_millis(3));
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 5);
+        assert_eq!(s.committed, 4);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.shed, 1);
+        assert!(s.throughput_per_sec > 0.0);
+        assert!(s.e2e_p50 > Duration::ZERO);
+        assert!(!s.to_string().is_empty());
+    }
+}

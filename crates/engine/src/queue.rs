@@ -1,0 +1,192 @@
+//! Bounded admission queue with load shedding, backpressure, and
+//! drain-on-shutdown semantics.
+
+use oodb_sim::EncOp;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One unit of admitted work: a logical transaction to execute.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Stable id assigned at submission (0-based submission order).
+    pub id: u64,
+    /// The operations the transaction performs, in order.
+    pub ops: Vec<EncOp>,
+    /// When the job entered the queue (start of the end-to-end latency
+    /// measurement).
+    pub submitted_at: Instant,
+    /// Absolute deadline, if the engine enforces one.
+    pub deadline: Option<Instant>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+///
+/// * [`try_push`](JobQueue::try_push) sheds when full (admission
+///   control);
+/// * [`push_blocking`](JobQueue::push_blocking) waits for space
+///   (backpressure);
+/// * [`pop`](JobQueue::pop) blocks until work arrives or the queue is
+///   closed **and drained** — closing stops admission but lets workers
+///   finish everything already accepted.
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+    next_id: AtomicU64,
+}
+
+impl JobQueue {
+    /// An empty queue holding at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    fn make_job(&self, ops: Vec<EncOp>, deadline: Option<std::time::Duration>) -> Job {
+        let now = Instant::now();
+        Job {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            ops,
+            submitted_at: now,
+            deadline: deadline.map(|d| now + d),
+        }
+    }
+
+    /// Admit `ops` if there is room. Returns `Err(ops)` (shedding the
+    /// work back to the caller) when the queue is full or closed.
+    pub fn try_push(
+        &self,
+        ops: Vec<EncOp>,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<u64, Vec<EncOp>> {
+        let mut st = self.state.lock();
+        if st.closed || st.jobs.len() >= self.capacity {
+            return Err(ops);
+        }
+        let job = self.make_job(ops, deadline);
+        let id = job.id;
+        st.jobs.push_back(job);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(id)
+    }
+
+    /// Admit `ops`, blocking until the queue has room (backpressure).
+    /// Returns `Err(ops)` only if the queue closes while waiting.
+    pub fn push_blocking(
+        &self,
+        ops: Vec<EncOp>,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<u64, Vec<EncOp>> {
+        let mut st = self.state.lock();
+        while !st.closed && st.jobs.len() >= self.capacity {
+            self.not_full
+                .wait_for(&mut st, std::time::Duration::from_millis(5));
+        }
+        if st.closed {
+            return Err(ops);
+        }
+        let job = self.make_job(ops, deadline);
+        let id = job.id;
+        st.jobs.push_back(job);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(id)
+    }
+
+    /// Take the next job, blocking while the queue is open and empty.
+    /// Returns `None` once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            self.not_empty
+                .wait_for(&mut st, std::time::Duration::from_millis(5));
+        }
+    }
+
+    /// Stop admitting new work. Already-queued jobs remain poppable;
+    /// blocked producers and idle consumers wake up.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of jobs currently waiting.
+    pub fn depth(&self) -> usize {
+        self.state.lock().jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> Vec<EncOp> {
+        vec![EncOp::Search("k".into())]
+    }
+
+    #[test]
+    fn sheds_when_full() {
+        let q = JobQueue::new(2);
+        assert!(q.try_push(ops(), None).is_ok());
+        assert!(q.try_push(ops(), None).is_ok());
+        assert!(q.try_push(ops(), None).is_err());
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn drains_after_close() {
+        let q = JobQueue::new(4);
+        q.try_push(ops(), None).unwrap();
+        q.try_push(ops(), None).unwrap();
+        q.close();
+        assert!(q.try_push(ops(), None).is_err(), "closed queue sheds");
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none(), "closed + drained returns None");
+    }
+
+    #[test]
+    fn ids_are_submission_ordered() {
+        let q = JobQueue::new(8);
+        let a = q.try_push(ops(), None).unwrap();
+        let b = q.try_push(ops(), None).unwrap();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn backpressure_unblocks_on_pop() {
+        let q = std::sync::Arc::new(JobQueue::new(1));
+        q.try_push(ops(), None).unwrap();
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || q2.push_blocking(ops(), None).is_ok());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(q.pop().is_some());
+        assert!(producer.join().unwrap(), "blocked producer admitted");
+    }
+}

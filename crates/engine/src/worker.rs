@@ -1,0 +1,242 @@
+//! The protocol-agnostic worker loop: pop a job, execute its operations
+//! under the concurrency control, commit or compensate-and-retry with
+//! bounded, jittered exponential backoff.
+
+use crate::cc::{ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, TxnHandle};
+use crate::config::EngineConfig;
+use crate::queue::{Job, JobQueue};
+use oodb_core::ids::TxnIdx;
+use oodb_lock::OwnerId;
+use oodb_sim::exec::apply_op;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// Pause between polls of [`ConcurrencyControl::try_finish`] while the
+/// protocol asks the transaction to wait on a predecessor.
+const FINISH_POLL: Duration = Duration::from_micros(500);
+
+/// The retry delay before re-executing `job` after its `attempt`-th
+/// failed attempt: exponential in the attempt number, capped, with a
+/// **deterministic** jitter drawn from a RNG seeded by
+/// `(cfg.seed, job, attempt)` — the same configuration always produces
+/// the same backoff schedule, so contended runs are reproducible.
+pub fn retry_delay(cfg: &EngineConfig, job: u64, attempt: u32) -> Duration {
+    let exp = cfg
+        .base_backoff
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(cfg.max_backoff);
+    let half = exp.as_nanos() as u64 / 2;
+    if half == 0 {
+        return exp;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(
+        cfg.seed ^ job.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (u64::from(attempt) << 48),
+    );
+    let jitter = rng.gen_range(0..half);
+    Duration::from_nanos(half + jitter)
+}
+
+fn past(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Worker body: drain the queue until it is closed and empty.
+pub(crate) fn run_worker(
+    shared: &EngineShared,
+    queue: &JobQueue,
+    cc: &dyn ConcurrencyControl,
+    cfg: &EngineConfig,
+) {
+    while let Some(job) = queue.pop() {
+        shared
+            .metrics
+            .queue_depth
+            .store(queue.depth(), Ordering::Relaxed);
+        process_job(shared, cc, cfg, &job, true);
+    }
+}
+
+/// Execute one job to completion: commit, deadline expiry, or retry
+/// exhaustion. `record_metrics` is false for internal transactions
+/// (preload) that should not distort the workload counters.
+pub(crate) fn process_job(
+    shared: &EngineShared,
+    cc: &dyn ConcurrencyControl,
+    cfg: &EngineConfig,
+    job: &Job,
+    record_metrics: bool,
+) {
+    for attempt in 0..=cfg.max_retries {
+        if past(job.deadline) {
+            if record_metrics {
+                shared
+                    .metrics
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        let base = if job.id == u64::MAX {
+            "Setup".to_string()
+        } else {
+            format!("J{}", job.id + 1)
+        };
+        let name = if attempt == 0 {
+            base.clone()
+        } else {
+            format!("{base}r{attempt}")
+        };
+        let mut ctx = shared.rec.begin_txn(name);
+        let handle = TxnHandle {
+            job: job.id,
+            attempt,
+            txn: TxnIdx(ctx.txn_number()),
+            owner: OwnerId(u64::from(ctx.txn_number())),
+        };
+
+        let mut aborting = false;
+        for op in &job.ops {
+            if cc.is_doomed(&handle) {
+                aborting = true;
+                break;
+            }
+            let t0 = Instant::now();
+            let grant = cc.before_op(shared, &handle, op);
+            if record_metrics {
+                shared.metrics.lock_wait.record(t0.elapsed());
+            }
+            match grant {
+                OpGrant::Granted => {
+                    let mut enc = shared.enc.lock();
+                    apply_op(&mut enc, &mut ctx, op, job.id.wrapping_add(1) as usize);
+                }
+                OpGrant::AbortVictim => {
+                    aborting = true;
+                    break;
+                }
+            }
+        }
+
+        if !aborting {
+            // commit point: poll the protocol, bounding wait rounds so
+            // mutual commit-dependency cycles break (the caps differ per
+            // owner, so exactly one side of a symmetric cycle gives up
+            // first)
+            let cap = 40 + (handle.owner.0 % 37) as u32;
+            let mut rounds = 0u32;
+            loop {
+                if past(job.deadline) {
+                    aborting = true;
+                    break;
+                }
+                match cc.try_finish(shared, &handle) {
+                    FinishOutcome::Committed => {
+                        shared.enc.lock().commit(ctx);
+                        cc.after_commit(shared, &handle);
+                        if record_metrics {
+                            shared.metrics.committed.fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.e2e.record(job.submitted_at.elapsed());
+                        }
+                        return;
+                    }
+                    FinishOutcome::Wait => {
+                        rounds += 1;
+                        if rounds > cap {
+                            aborting = true;
+                            break;
+                        }
+                        std::thread::sleep(FINISH_POLL);
+                    }
+                    FinishOutcome::Abort => {
+                        aborting = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        debug_assert!(aborting);
+        // compensate this attempt's completed operations in reverse
+        // order, then let the protocol release/cascade
+        {
+            let mut enc = shared.enc.lock();
+            let mut comp = shared.rec.begin_txn(format!("C({base}a{attempt})"));
+            let report = enc.abort(ctx, &mut comp);
+            if cc.strict_compensation() {
+                assert!(
+                    report.failed.is_empty(),
+                    "compensation under held locks cannot fail: {:?}",
+                    report.failed
+                );
+            }
+        }
+        cc.after_abort(shared, &handle);
+        if record_metrics {
+            shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
+        }
+
+        if attempt == cfg.max_retries {
+            if record_metrics {
+                shared.metrics.aborted.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        std::thread::sleep(retry_delay(cfg, job.id, attempt));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic() {
+        let cfg = EngineConfig {
+            seed: 42,
+            ..EngineConfig::default()
+        };
+        for job in 0..20u64 {
+            for attempt in 0..6u32 {
+                assert_eq!(
+                    retry_delay(&cfg, job, attempt),
+                    retry_delay(&cfg, job, attempt),
+                    "same (seed, job, attempt) must give the same delay"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let cfg = EngineConfig {
+            seed: 7,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(10),
+            ..EngineConfig::default()
+        };
+        // the delay lies in [exp/2, exp) for the capped exponential
+        for attempt in 0..10u32 {
+            let d = retry_delay(&cfg, 3, attempt);
+            let exp = cfg
+                .base_backoff
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(cfg.max_backoff);
+            assert!(
+                d >= exp / 2 && d < exp,
+                "attempt {attempt}: {d:?} vs {exp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_jobs_get_different_jitter() {
+        let cfg = EngineConfig {
+            seed: 9,
+            ..EngineConfig::default()
+        };
+        let delays: Vec<Duration> = (0..16).map(|j| retry_delay(&cfg, j, 3)).collect();
+        let distinct: std::collections::HashSet<_> = delays.iter().collect();
+        assert!(distinct.len() > 1, "jitter must split symmetric retries");
+    }
+}

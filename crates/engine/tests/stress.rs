@@ -1,0 +1,165 @@
+//! Engine stress tests: many workers, hundreds of transactions, mixed
+//! conflict rates, both concurrency-control strategies — every audited
+//! run must be oo-serializable.
+
+use oodb_engine::{retry_delay, AuditScope, CcKind, Engine, EngineConfig, EngineOutput};
+use oodb_sim::{encyclopedia_workload, EncMix, EncOp, EncWorkloadConfig, Skew};
+use std::time::Duration;
+
+fn workload(txns: usize, key_space: usize, seed: u64) -> oodb_sim::EncWorkload {
+    encyclopedia_workload(&EncWorkloadConfig {
+        txns,
+        ops_per_txn: 4,
+        key_space,
+        preload: (key_space / 2).max(2),
+        mix: EncMix::update_heavy(),
+        skew: Skew::Zipf(0.8),
+        seed,
+    })
+}
+
+fn engine_cfg(seed: u64) -> EngineConfig {
+    EngineConfig {
+        workers: 8,
+        queue_capacity: 32,
+        seed,
+        ..EngineConfig::default()
+    }
+}
+
+fn assert_sound(out: &EngineOutput, label: &str) {
+    let audit = out.audit.as_ref().expect("audit enabled");
+    assert!(
+        audit.report.oo_decentralized.is_ok(),
+        "{label}: oo-serializability violated: {:?}",
+        audit.report.oo_decentralized
+    );
+    assert!(
+        audit.report.oo_global.is_ok(),
+        "{label}: global check failed"
+    );
+}
+
+/// ≥8 workers, ≥200 transactions in total, low- and high-contention key
+/// spaces, both strategies; every run commits everything and audits
+/// oo-serializable.
+#[test]
+fn stress_both_strategies_mixed_contention() {
+    let cases = [
+        (CcKind::Pessimistic, 96, 96, 11u64), // low contention
+        (CcKind::Pessimistic, 56, 8, 12),     // hot keys: deadlocks likely
+        (CcKind::Optimistic, 36, 96, 13),     // low contention
+        (CcKind::Optimistic, 24, 12, 14),     // hot keys: validation aborts
+    ];
+    let mut total = 0usize;
+    for (kind, txns, key_space, seed) in cases {
+        let w = workload(txns, key_space, seed);
+        let out = oodb_engine::run_workload(&engine_cfg(seed), kind, &w);
+        let label = format!("{} txns={txns} keys={key_space}", out.cc_name);
+        assert_eq!(
+            out.metrics.committed as usize, txns,
+            "{label}: every transaction must eventually commit \
+             (aborted {} retries {})",
+            out.metrics.aborted, out.metrics.retries
+        );
+        assert_eq!(out.metrics.submitted as usize, txns, "{label}");
+        assert_eq!(
+            out.metrics.aborted, 0,
+            "{label}: no job may exhaust retries"
+        );
+        assert_sound(&out, &label);
+        let expected_scope = match kind {
+            CcKind::Optimistic => AuditScope::CommittedOnly,
+            _ => AuditScope::FullRecord,
+        };
+        assert_eq!(out.audit.as_ref().unwrap().scope, expected_scope, "{label}");
+        total += txns;
+    }
+    assert!(total >= 200, "stress must cover at least 200 transactions");
+}
+
+/// The metrics snapshot carries the operational signals the acceptance
+/// criteria name: throughput, latency percentiles, queue depth.
+#[test]
+fn metrics_snapshot_is_populated() {
+    let w = workload(24, 32, 5);
+    let out = oodb_engine::run_workload(&engine_cfg(5), CcKind::Pessimistic, &w);
+    let m = &out.metrics;
+    assert!(m.throughput_per_sec > 0.0);
+    assert!(m.e2e_p50 > Duration::ZERO);
+    assert!(m.e2e_p99 >= m.e2e_p50);
+    assert!(m.lock_wait_p99 >= m.lock_wait_p50);
+    assert_eq!(m.queue_depth, 0, "drained on shutdown");
+    assert_eq!(m.shed, 0, "blocking submission never sheds");
+}
+
+/// Admission control sheds when the queue is full and the engine keeps
+/// running; the audit still holds over whatever was admitted.
+#[test]
+fn full_queue_sheds_and_stays_sound() {
+    let cfg = EngineConfig {
+        workers: 2,
+        queue_capacity: 4,
+        seed: 3,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::start(cfg, CcKind::Pessimistic);
+    engine.preload(&["base".to_string()]);
+    // slow-ish jobs + fast submission: some must be shed
+    let mut admitted = 0usize;
+    for i in 0..64 {
+        let ops = vec![
+            EncOp::Insert(format!("k{i}")),
+            EncOp::Search("base".into()),
+            EncOp::Change(format!("k{i}")),
+        ];
+        if engine.submit(ops).is_ok() {
+            admitted += 1;
+        }
+    }
+    let out = engine.shutdown();
+    assert_eq!(out.metrics.submitted as usize, admitted);
+    assert_eq!(out.metrics.committed as usize, admitted);
+    assert_eq!(out.metrics.shed as usize, 64 - admitted);
+    assert_sound(&out, "shedding run");
+}
+
+/// Transactions whose deadline passes are dropped and counted, without
+/// harming the soundness of the rest.
+#[test]
+fn expired_deadlines_are_dropped_not_committed() {
+    let cfg = EngineConfig {
+        workers: 2,
+        queue_capacity: 64,
+        txn_deadline: Some(Duration::ZERO), // already expired on arrival
+        seed: 4,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::start(cfg, CcKind::Pessimistic);
+    for i in 0..8 {
+        engine
+            .submit_blocking(vec![EncOp::Insert(format!("d{i}"))])
+            .unwrap();
+    }
+    let out = engine.shutdown();
+    assert_eq!(out.metrics.committed, 0);
+    assert_eq!(out.metrics.deadline_expired, 8);
+    assert_sound(&out, "deadline run");
+}
+
+/// Same seed ⇒ identical backoff/jitter schedule, different seeds ⇒
+/// different jitter: contended runs are reproducible by construction.
+#[test]
+fn backoff_schedule_is_deterministic_per_seed() {
+    let a = engine_cfg(99);
+    let b = engine_cfg(99);
+    let c = engine_cfg(100);
+    let schedule = |cfg: &EngineConfig| -> Vec<Duration> {
+        (0..12u64)
+            .flat_map(|job| (0..5u32).map(move |attempt| (job, attempt)))
+            .map(|(job, attempt)| retry_delay(cfg, job, attempt))
+            .collect()
+    };
+    assert_eq!(schedule(&a), schedule(&b), "same seed, same schedule");
+    assert_ne!(schedule(&a), schedule(&c), "seed changes the jitter");
+}

@@ -145,7 +145,10 @@ mod tests {
         // a second -60 would admit a worst case of -20
         assert!(matches!(
             a.request(2, -60),
-            Err(EscrowError::WouldViolateBound { worst_case: -20, .. })
+            Err(EscrowError::WouldViolateBound {
+                worst_case: -20,
+                ..
+            })
         ));
         // but -40 is fine
         a.request(2, -40).unwrap();
@@ -182,7 +185,10 @@ mod tests {
         // combinations — the bound must never be violated
         let mut a = EscrowAccount::new(20, 0);
         let mut granted: Vec<(u64, i64)> = Vec::new();
-        for (o, d) in [(1i64, -10i64), (2, 15), (3, -10), (4, -10)].iter().map(|&(o, d)| (o as u64, d)) {
+        for (o, d) in [(1i64, -10i64), (2, 15), (3, -10), (4, -10)]
+            .iter()
+            .map(|&(o, d)| (o as u64, d))
+        {
             if a.request(o, d).is_ok() {
                 granted.push((o, d));
             }

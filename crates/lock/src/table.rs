@@ -168,7 +168,12 @@ impl LockManager {
 
     /// *Closed* discipline: transfer the child's grants to `parent`, where
     /// they keep blocking non-relatives until the parent releases.
-    pub fn transfer_to_parent(&mut self, child: OwnerId, parent: OwnerId, parent_ancestors: &[OwnerId]) {
+    pub fn transfer_to_parent(
+        &mut self,
+        child: OwnerId,
+        parent: OwnerId,
+        parent_ancestors: &[OwnerId],
+    ) {
         for grants in self.grants.values_mut() {
             for g in grants.iter_mut() {
                 if g.owner == child {
@@ -304,9 +309,15 @@ mod tests {
         let i_dbs = ActionDescriptor::new("insert", vec![key("DBS")]);
         let i_dbms = ActionDescriptor::new("insert", vec![key("DBMS")]);
         let s_dbs = ActionDescriptor::new("search", vec![key("DBS")]);
-        assert_eq!(m.acquire(OwnerId(1), &[], leaf, &i_dbs), LockOutcome::Granted);
+        assert_eq!(
+            m.acquire(OwnerId(1), &[], leaf, &i_dbs),
+            LockOutcome::Granted
+        );
         // different key: compatible (the paper's concurrency gain)
-        assert_eq!(m.acquire(OwnerId(2), &[], leaf, &i_dbms), LockOutcome::Granted);
+        assert_eq!(
+            m.acquire(OwnerId(2), &[], leaf, &i_dbms),
+            LockOutcome::Granted
+        );
         // same key search: blocked
         assert!(matches!(
             m.acquire(OwnerId(3), &[], leaf, &s_dbs),
@@ -340,7 +351,10 @@ mod tests {
         open.register(r, Arc::new(ReadWriteSpec));
         open.acquire(child, &[parent], r, &rw());
         open.release_all(child);
-        assert_eq!(open.acquire(OwnerId(9), &[], r, &rw()), LockOutcome::Granted);
+        assert_eq!(
+            open.acquire(OwnerId(9), &[], r, &rw()),
+            LockOutcome::Granted
+        );
         // closed: transfer to parent; stranger still blocked
         m.transfer_to_parent(child, parent, &[]);
         assert!(matches!(
@@ -358,8 +372,14 @@ mod tests {
         m.register(r2, Arc::new(ReadWriteSpec));
         m.acquire(OwnerId(1), &[], r, &rw());
         m.acquire(OwnerId(2), &[], r2, &rw());
-        assert!(matches!(m.acquire(OwnerId(1), &[], r2, &rw()), LockOutcome::Blocked { .. }));
-        assert!(matches!(m.acquire(OwnerId(2), &[], r, &rw()), LockOutcome::Blocked { .. }));
+        assert!(matches!(
+            m.acquire(OwnerId(1), &[], r2, &rw()),
+            LockOutcome::Blocked { .. }
+        ));
+        assert!(matches!(
+            m.acquire(OwnerId(2), &[], r, &rw()),
+            LockOutcome::Blocked { .. }
+        ));
         let cycle = m.find_deadlock(|o| o).expect("deadlock exists");
         assert_eq!(cycle.len(), 2);
         assert_eq!(m.stats.deadlocks, 1);

@@ -2,9 +2,7 @@
 //! do two granted locks of unrelated owners conflict under the resource's
 //! commutativity spec, and releases restore availability.
 
-use oodb_core::commutativity::{
-    ActionDescriptor, CommutativitySpec, EscrowSpec, KeyedSpec, ReadWriteSpec, SpecRef,
-};
+use oodb_core::commutativity::{ActionDescriptor, EscrowSpec, KeyedSpec, ReadWriteSpec, SpecRef};
 use oodb_core::value::key;
 use oodb_lock::{LockManager, LockOutcome, OwnerId, ResourceId};
 use proptest::prelude::*;

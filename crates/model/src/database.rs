@@ -315,7 +315,11 @@ mod tests {
                 .method(
                     "balance",
                     primitive_method(|db, _ctx, this, _| {
-                        Ok(MethodOutcome::of(db.get_prop_or(this, "balance", Value::Int(0))))
+                        Ok(MethodOutcome::of(db.get_prop_or(
+                            this,
+                            "balance",
+                            Value::Int(0),
+                        )))
                     }),
                 ),
         )
@@ -349,7 +353,8 @@ mod tests {
         db.create("acc2", "Account").unwrap();
 
         let mut t = rec.begin_txn("T1");
-        db.send(&mut t, "acc1", "deposit", vec![Value::Int(100)]).unwrap();
+        db.send(&mut t, "acc1", "deposit", vec![Value::Int(100)])
+            .unwrap();
         db.send(
             &mut t,
             "bank",
@@ -383,9 +388,12 @@ mod tests {
 
         let mut t1 = rec.begin_txn("T1");
         let mut t2 = rec.begin_txn("T2");
-        db.send(&mut t1, "acc", "deposit", vec![Value::Int(10)]).unwrap();
-        db.send(&mut t2, "acc", "deposit", vec![Value::Int(20)]).unwrap();
-        db.send(&mut t1, "acc", "deposit", vec![Value::Int(1)]).unwrap();
+        db.send(&mut t1, "acc", "deposit", vec![Value::Int(10)])
+            .unwrap();
+        db.send(&mut t2, "acc", "deposit", vec![Value::Int(20)])
+            .unwrap();
+        db.send(&mut t1, "acc", "deposit", vec![Value::Int(1)])
+            .unwrap();
         drop(t1);
         drop(t2);
 
@@ -408,9 +416,11 @@ mod tests {
         let mut t1 = rec.begin_txn("T1");
         let mut t2 = rec.begin_txn("T2");
         // T2 reads between T1's two deposits: T1 -> T2 and T2 -> T1
-        db.send(&mut t1, "acc", "deposit", vec![Value::Int(10)]).unwrap();
+        db.send(&mut t1, "acc", "deposit", vec![Value::Int(10)])
+            .unwrap();
         db.send(&mut t2, "acc", "balance", vec![]).unwrap();
-        db.send(&mut t1, "acc", "deposit", vec![Value::Int(10)]).unwrap();
+        db.send(&mut t1, "acc", "deposit", vec![Value::Int(10)])
+            .unwrap();
         drop(t1);
         drop(t2);
 

@@ -21,6 +21,8 @@ pub mod database;
 pub mod recorder;
 pub mod types;
 
-pub use database::{method, primitive_method, Database, Instance, Method, MethodOutcome, ModelError};
+pub use database::{
+    method, primitive_method, Database, Instance, Method, MethodOutcome, ModelError,
+};
 pub use recorder::{Recorder, TxnCtx};
 pub use types::{ObjectType, TypeError, TypeRegistry};

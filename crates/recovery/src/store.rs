@@ -282,9 +282,7 @@ mod tests {
     }
 
     fn last_record(store: &RecoverableStore, page: PageId) -> Option<Vec<u8>> {
-        store.read_page(page, |p| {
-            p.records().last().map(|(_, b)| b.to_vec())
-        })
+        store.read_page(page, |p| p.records().last().map(|(_, b)| b.to_vec()))
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! visible state must equal the state produced by the committed
 //! transactions alone, and recovery must be idempotent.
 
-use oodb_recovery::{RecoverableStore, RecTxnId};
+use oodb_recovery::{RecTxnId, RecoverableStore};
 use oodb_storage::PageId;
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -13,7 +13,10 @@ use std::collections::HashMap;
 enum Step {
     Begin,
     /// Write `value` to the pad of page `page_slot` (mod allocated).
-    Write { page_slot: usize, value: u8 },
+    Write {
+        page_slot: usize,
+        value: u8,
+    },
     Commit,
     Abort,
 }

@@ -211,7 +211,12 @@ mod tests {
         let r = acceptance_rates(&cfg, 200, 1);
         assert_eq!(r.samples, 200);
         assert_eq!(r.inclusion_violations, 0);
-        assert!(r.oo >= r.conventional, "oo {} < conventional {}", r.oo, r.conventional);
+        assert!(
+            r.oo >= r.conventional,
+            "oo {} < conventional {}",
+            r.oo,
+            r.conventional
+        );
         // global strengthening can only reject more than decentralized
         assert!(r.oo_global <= r.oo);
     }
@@ -236,9 +241,12 @@ mod tests {
             r.oo,
             r.oo_no_semantics
         );
-        assert!(r.oo_no_semantics <= r.conventional + r.samples / 10,
+        assert!(
+            r.oo_no_semantics <= r.conventional + r.samples / 10,
             "ablated oo should be near conventional: ablated={} conv={}",
-            r.oo_no_semantics, r.conventional);
+            r.oo_no_semantics,
+            r.conventional
+        );
     }
 
     #[test]

@@ -18,21 +18,25 @@
 #![warn(missing_docs)]
 
 pub mod acceptance;
-pub mod paper;
 pub mod conflict;
+pub mod exec;
 pub mod logical;
+pub mod paper;
 pub mod replay;
 pub mod threaded;
 pub mod workloads;
 
 pub use acceptance::{acceptance_rates, AcceptanceConfig, AcceptanceRates};
 pub use conflict::{conflict_rates, ConflictRates};
+pub use exec::{apply_op, enc_lock_manager, op_descriptor, page_descriptor, ENC_RESOURCE};
 pub use logical::{
     compile_banking, compile_editing, compile_encyclopedia, run_simulation, CompiledWorkload,
     DeadlockPolicy, HoldUntil, LogicalBankConfig, LogicalDocConfig, LogicalEncConfig, LogicalOp,
     LogicalStep, Protocol, SimConfig, SimMetrics,
 };
-pub use paper::{added_relation_gap, example1_commuting, example1_conflicting, example2_tree, example4};
+pub use paper::{
+    added_relation_gap, example1_commuting, example1_conflicting, example2_tree, example4,
+};
 pub use replay::{replay_encyclopedia, replay_workload, ReplayOutput};
 pub use threaded::{run_threaded, ThreadedOutput};
 pub use workloads::{

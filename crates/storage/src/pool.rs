@@ -277,9 +277,10 @@ impl PinnedPage {
 
 impl Drop for PinnedPage {
     fn drop(&mut self) {
-        self.frame
-            .last_used
-            .store(self.pool.inner.clock.fetch_add(1, Ordering::Relaxed), Ordering::Release);
+        self.frame.last_used.store(
+            self.pool.inner.clock.fetch_add(1, Ordering::Relaxed),
+            Ordering::Release,
+        );
         self.frame.pins.fetch_sub(1, Ordering::AcqRel);
     }
 }
@@ -303,7 +304,10 @@ mod tests {
     #[test]
     fn unknown_page_rejected() {
         let pool = BufferPool::new(2, 256);
-        assert_eq!(pool.fetch(PageId(99)).unwrap_err(), PoolError::UnknownPage(PageId(99)));
+        assert_eq!(
+            pool.fetch(PageId(99)).unwrap_err(),
+            PoolError::UnknownPage(PageId(99))
+        );
     }
 
     #[test]

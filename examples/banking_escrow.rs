@@ -11,7 +11,9 @@
 
 use oodb::core::prelude::*;
 use oodb::lock::{EscrowAccount, EscrowError};
-use oodb::model::{method, primitive_method, Database, MethodOutcome, ObjectType, Recorder, TypeRegistry};
+use oodb::model::{
+    method, primitive_method, Database, MethodOutcome, ObjectType, Recorder, TypeRegistry,
+};
 use std::sync::Arc;
 
 fn schema() -> TypeRegistry {
@@ -40,23 +42,29 @@ fn schema() -> TypeRegistry {
             .method(
                 "balance",
                 primitive_method(|db, _ctx, this, _| {
-                    Ok(MethodOutcome::of(db.get_prop_or(this, "balance", Value::Int(0))))
+                    Ok(MethodOutcome::of(db.get_prop_or(
+                        this,
+                        "balance",
+                        Value::Int(0),
+                    )))
                 }),
             ),
     )
     .unwrap();
     reg.register(
-        ObjectType::new("Bank").with_spec(Arc::new(ReadWriteSpec)).method(
-            "transfer",
-            method(|db, ctx, _this, args| {
-                let from = args[0].as_str().unwrap().to_owned();
-                let to = args[1].as_str().unwrap().to_owned();
-                let amount = args[2].clone();
-                db.send(ctx, &from, "withdraw", vec![amount.clone()])?;
-                db.send(ctx, &to, "deposit", vec![amount])?;
-                Ok(MethodOutcome::unit())
-            }),
-        ),
+        ObjectType::new("Bank")
+            .with_spec(Arc::new(ReadWriteSpec))
+            .method(
+                "transfer",
+                method(|db, ctx, _this, args| {
+                    let from = args[0].as_str().unwrap().to_owned();
+                    let to = args[1].as_str().unwrap().to_owned();
+                    let amount = args[2].clone();
+                    db.send(ctx, &from, "withdraw", vec![amount.clone()])?;
+                    db.send(ctx, &to, "deposit", vec![amount])?;
+                    Ok(MethodOutcome::unit())
+                }),
+            ),
     )
     .unwrap();
     reg
@@ -71,16 +79,36 @@ fn main() {
     db.create("bob", "Account").unwrap();
 
     let mut seed = rec.begin_txn("Seed");
-    db.send(&mut seed, "alice", "deposit", vec![Value::Int(100)]).unwrap();
-    db.send(&mut seed, "bob", "deposit", vec![Value::Int(100)]).unwrap();
+    db.send(&mut seed, "alice", "deposit", vec![Value::Int(100)])
+        .unwrap();
+    db.send(&mut seed, "bob", "deposit", vec![Value::Int(100)])
+        .unwrap();
     drop(seed);
 
     let mut t1 = rec.begin_txn("T1");
     let mut t2 = rec.begin_txn("T2");
     // interleave two opposing transfers
-    db.send(&mut t1, "bank", "transfer", vec!["alice".into(), "bob".into(), Value::Int(30)]).unwrap();
-    db.send(&mut t2, "bank", "transfer", vec!["bob".into(), "alice".into(), Value::Int(10)]).unwrap();
-    db.send(&mut t1, "bank", "transfer", vec!["alice".into(), "bob".into(), Value::Int(5)]).unwrap();
+    db.send(
+        &mut t1,
+        "bank",
+        "transfer",
+        vec!["alice".into(), "bob".into(), Value::Int(30)],
+    )
+    .unwrap();
+    db.send(
+        &mut t2,
+        "bank",
+        "transfer",
+        vec!["bob".into(), "alice".into(), Value::Int(10)],
+    )
+    .unwrap();
+    db.send(
+        &mut t1,
+        "bank",
+        "transfer",
+        vec!["alice".into(), "bob".into(), Value::Int(5)],
+    )
+    .unwrap();
     drop(t1);
     drop(t2);
 
@@ -113,7 +141,10 @@ fn main() {
     println!("\nescrow account, lower bound 0, committed 100:");
     let mut acc = EscrowAccount::new(100, 0);
     acc.request(1, -60).unwrap();
-    println!("  txn1 withdraw 60: granted (worst case {})", acc.worst_case());
+    println!(
+        "  txn1 withdraw 60: granted (worst case {})",
+        acc.worst_case()
+    );
     match acc.request(2, -60) {
         Err(EscrowError::WouldViolateBound { worst_case, .. }) => {
             println!("  txn2 withdraw 60: REFUSED (worst case would be {worst_case})")
@@ -121,7 +152,10 @@ fn main() {
         other => panic!("expected refusal, got {other:?}"),
     }
     acc.request(2, -40).unwrap();
-    println!("  txn2 withdraw 40: granted (worst case {})", acc.worst_case());
+    println!(
+        "  txn2 withdraw 40: granted (worst case {})",
+        acc.worst_case()
+    );
     acc.abort(1).unwrap();
     acc.commit(2).unwrap();
     println!(

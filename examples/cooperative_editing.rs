@@ -50,8 +50,16 @@ fn main() {
         results.push((p, m));
     }
 
-    let open = &results.iter().find(|(p, _)| *p == Protocol::OpenNested).unwrap().1;
-    let page = &results.iter().find(|(p, _)| *p == Protocol::PageTwoPhase).unwrap().1;
+    let open = &results
+        .iter()
+        .find(|(p, _)| *p == Protocol::OpenNested)
+        .unwrap()
+        .1;
+    let page = &results
+        .iter()
+        .find(|(p, _)| *p == Protocol::PageTwoPhase)
+        .unwrap()
+        .1;
     println!(
         "\nopen-nested finishes {:.1}x faster than page 2PL on this workload",
         page.makespan as f64 / open.makespan as f64

@@ -58,8 +58,14 @@ fn main() {
     }
 
     let report = analyze(&ts, &h);
-    println!("\noo-serializable:            {}", report.oo_decentralized.is_ok());
-    println!("conventionally serializable: {}", report.conventional.is_ok());
+    println!(
+        "\noo-serializable:            {}",
+        report.oo_decentralized.is_ok()
+    );
+    println!(
+        "conventionally serializable: {}",
+        report.conventional.is_ok()
+    );
 
     // The commuting inserts leave T1 and T2 unordered; only T2 -> T3
     // (insert before search of DBS) reaches the top.

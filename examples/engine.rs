@@ -1,0 +1,59 @@
+//! The transaction engine end to end: one workload, three concurrency
+//! controls, live metrics, and a full serializability audit.
+//!
+//! Run with: `cargo run --example engine`
+
+use oodb::engine::{CcKind, EngineConfig};
+use oodb::sim::{encyclopedia_workload, EncMix, EncWorkloadConfig, Skew};
+
+fn main() {
+    let workload = encyclopedia_workload(&EncWorkloadConfig {
+        txns: 24,
+        ops_per_txn: 4,
+        key_space: 24,
+        preload: 12,
+        mix: EncMix::update_heavy(),
+        skew: Skew::Zipf(0.8),
+        seed: 7,
+    });
+
+    println!("24 update-heavy transactions on 24 hot keys, 8 workers:\n");
+    for kind in [
+        CcKind::Pessimistic,
+        CcKind::PessimisticPage,
+        CcKind::Optimistic,
+    ] {
+        let cfg = EngineConfig {
+            workers: 8,
+            queue_capacity: 16,
+            seed: 7,
+            ..EngineConfig::default()
+        };
+        let out = oodb::engine::run_workload(&cfg, kind, &workload);
+        let audit = out.audit.expect("audit enabled");
+        println!("{:<18} {}", out.cc_name, out.metrics);
+        println!(
+            "{:<18} audit ({:?}): oo-decentralized {}, oo-global {}, conventional {}\n",
+            "",
+            audit.scope,
+            verdict(audit.report.oo_decentralized.is_ok()),
+            verdict(audit.report.oo_global.is_ok()),
+            verdict(audit.report.conventional.is_ok()),
+        );
+    }
+    println!(
+        "Semantic locking retries only on true semantic conflicts; the\n\
+         page-level ablation serializes the hot keys; optimistic\n\
+         certification trades locks for validation aborts. All three are\n\
+         oo-serializable — the page-level run is even conventionally\n\
+         serializable, at the price of concurrency."
+    );
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "VIOLATED"
+    }
+}

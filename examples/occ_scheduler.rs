@@ -101,7 +101,10 @@ fn main() {
 
     let mut check = rec.begin_txn("Check");
     assert_eq!(enc.search(&mut check, "DBMS").as_deref(), Some("v1"));
-    assert_eq!(enc.search(&mut check, "DBS").as_deref(), Some("database systems"));
+    assert_eq!(
+        enc.search(&mut check, "DBS").as_deref(),
+        Some("database systems")
+    );
     assert!(enc.search(&mut check, "OODB").is_some());
     drop(check);
     println!("state restored: DBMS=v1, DBS original, OODB present");

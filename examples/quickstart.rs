@@ -30,8 +30,8 @@ fn main() {
     }
 
     // 3. An execution history: the Axiom 1 order of the primitives.
-    let h = History::from_order(&ts, &[prims[0], prims[1], prims[2], prims[3]])
-        .expect("valid history");
+    let h =
+        History::from_order(&ts, &[prims[0], prims[1], prims[2], prims[3]]).expect("valid history");
 
     // 4. Infer the per-object dependency relations (Defs. 6, 10, 11, 15).
     let ss = SystemSchedules::infer(&ts, &h);
@@ -49,10 +49,7 @@ fn main() {
         "oo-serializability leaves the top level unordered: {} edges",
         ss.schedule(ts.system_object()).action_deps.edge_count()
     );
-    println!(
-        "oo-serializable: {}",
-        report.oo_decentralized.is_ok()
-    );
+    println!("oo-serializable: {}", report.oo_decentralized.is_ok());
     assert!(report.oo_decentralized.is_ok());
     assert_eq!(ss.schedule(ts.system_object()).action_deps.edge_count(), 0);
     assert_eq!(conventional_deps(&ts, &h).edge_count(), 1);

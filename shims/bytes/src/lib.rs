@@ -1,0 +1,139 @@
+//! Offline stand-in for the subset of the `bytes` crate this workspace
+//! uses: the [`Buf`] / [`BufMut`] cursor traits implemented for byte
+//! slices and `Vec<u8>`, little-endian accessors only.
+
+#![warn(missing_docs)]
+
+/// Read cursor over a byte source; every `get_*` consumes from the front.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Consume and return the first `len` bytes.
+    fn copy_to_bytes(&mut self, len: usize) -> Vec<u8>;
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_to_bytes(1)[0]
+    }
+
+    /// Consume a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let b = self.copy_to_bytes(2);
+        u16::from_le_bytes([b[0], b[1]])
+    }
+
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let b = self.copy_to_bytes(4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let b = self.copy_to_bytes(8);
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize) {
+        let _ = self.copy_to_bytes(n);
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Vec<u8> {
+        assert!(
+            len <= self.len(),
+            "buffer underflow: {len} > {}",
+            self.len()
+        );
+        let (head, tail) = self.split_at(len);
+        let out = head.to_vec();
+        *self = tail;
+        out
+    }
+}
+
+/// Write cursor over a byte sink; every `put_*` appends (for `Vec<u8>`)
+/// or overwrites from the front (for `&mut [u8]`).
+pub trait BufMut {
+    /// Append/write raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Write one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Write a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for &mut [u8] {
+    fn put_slice(&mut self, src: &[u8]) {
+        assert!(
+            src.len() <= self.len(),
+            "buffer overflow: {} > {}",
+            src.len(),
+            self.len()
+        );
+        let taken = std::mem::take(self);
+        let (head, tail) = taken.split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_roundtrip() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u16_le(513);
+        out.put_u32_le(70_000);
+        out.put_u64_le(1 << 40);
+        out.put_slice(b"abc");
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u16_le(), 513);
+        assert_eq!(buf.get_u32_le(), 70_000);
+        assert_eq!(buf.get_u64_le(), 1 << 40);
+        assert_eq!(buf.copy_to_bytes(3), b"abc");
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_writes_in_place() {
+        let mut storage = [0u8; 4];
+        (&mut storage[0..2]).put_u16_le(0xABCD);
+        (&mut storage[2..4]).put_u16_le(0x1234);
+        assert_eq!((&storage[0..2]).get_u16_le(), 0xABCD);
+        assert_eq!((&storage[2..4]).get_u16_le(), 0x1234);
+    }
+}

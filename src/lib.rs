@@ -14,12 +14,17 @@
 //! * [`lock`] — semantic lock manager, open/closed nesting, escrow;
 //! * [`recovery`] — write-ahead logging and ARIES-lite crash recovery
 //!   for the page substrate;
-//! * [`sim`] — workloads, executors, and the experiment measurements.
+//! * [`sim`] — workloads, executors, and the experiment measurements;
+//! * [`engine`] — a worker-pool transaction engine with pluggable
+//!   concurrency control (semantic 2PL or optimistic certification),
+//!   admission control, retries, and metrics.
 //!
-//! Start with `examples/quickstart.rs`, then `examples/encyclopedia.rs`.
+//! Start with `examples/quickstart.rs`, then `examples/encyclopedia.rs`
+//! and `examples/engine.rs`.
 
 pub use oodb_btree as btree;
 pub use oodb_core as core;
+pub use oodb_engine as engine;
 pub use oodb_lock as lock;
 pub use oodb_model as model;
 pub use oodb_recovery as recovery;

@@ -68,7 +68,10 @@ fn deep_trees_exercise_virtual_objects_and_stay_sound() {
         .object_indices()
         .filter(|&o| out.ts.object(o).virtual_of.is_some())
         .count();
-    assert!(virtuals > 0, "deep insert-only load must trigger Definition 5");
+    assert!(
+        virtuals > 0,
+        "deep insert-only load must trigger Definition 5"
+    );
     // verdict hierarchy intact
     if out.report.conventional.is_ok() {
         assert!(out.report.oo_decentralized.is_ok());
@@ -116,7 +119,13 @@ fn trace_is_replayable_documentation() {
                 assert!(out.history.before(*from, *to));
                 assert!(out.ts.conflicts(*from, *to));
             }
-            Derivation::Added { from, to, at_from, at_to, .. } => {
+            Derivation::Added {
+                from,
+                to,
+                at_from,
+                at_to,
+                ..
+            } => {
                 assert_eq!(out.ts.action(*from).object, *at_from);
                 assert_eq!(out.ts.action(*to).object, *at_to);
                 assert_ne!(at_from, at_to);

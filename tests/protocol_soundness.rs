@@ -9,9 +9,9 @@
 //! * the checker hierarchy `oo-global ⟹ oo-decentralized` holds.
 
 use oodb::sim::{
-    compile_editing, compile_encyclopedia, conflict_rates, editing_workload,
-    encyclopedia_workload, replay_encyclopedia, run_simulation, EditWorkloadConfig, EncMix,
-    EncWorkloadConfig, LogicalDocConfig, LogicalEncConfig, Protocol, SimConfig, Skew,
+    compile_editing, compile_encyclopedia, conflict_rates, editing_workload, encyclopedia_workload,
+    replay_encyclopedia, run_simulation, EditWorkloadConfig, EncMix, EncWorkloadConfig,
+    LogicalDocConfig, LogicalEncConfig, Protocol, SimConfig, Skew,
 };
 
 #[test]
