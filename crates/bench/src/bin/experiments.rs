@@ -1,5 +1,5 @@
 //! Experiment driver: regenerate the paper's figures and the quantitative
-//! tables. Usage: `experiments [fig1|fig2|fig4|fig5|fig6|fig7|fig8|gap|b1|b2|b3|b4|b5|…|b9|all]…`
+//! tables. Usage: `experiments [fig1|fig2|fig4|fig5|fig6|fig7|fig8|gap|b1|b2|b3|b4|b5|…|b10|all]…`
 
 use oodb_bench::{figures, quant};
 
@@ -22,13 +22,14 @@ fn run(id: &str) -> Option<String> {
         "b7" => quant::b7(),
         "b8" => quant::b8(),
         "b9" => quant::b9(),
+        "b10" => quant::b10(),
         _ => return None,
     })
 }
 
-const ALL: [&str; 17] = [
+const ALL: [&str; 18] = [
     "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "gap", "b1", "b2", "b3", "b4", "b5",
-    "b6", "b7", "b8", "b9",
+    "b6", "b7", "b8", "b9", "b10",
 ];
 
 fn main() {

@@ -561,6 +561,98 @@ pub fn b9() -> String {
     )
 }
 
+/// The B10 disjoint-key workload: transaction `i` touches only its own
+/// two keys (insert + update each), so the concurrency control is the
+/// only shared bottleneck the protocol itself can decentralize.
+pub fn b10_workload(txns: usize) -> (Vec<String>, Vec<Vec<oodb_sim::EncOp>>) {
+    use oodb_sim::EncOp;
+    let mut ops = Vec::with_capacity(txns);
+    for i in 0..txns {
+        let a = format!("t{i:04}a");
+        let b = format!("t{i:04}b");
+        ops.push(vec![
+            EncOp::Insert(a.clone()),
+            EncOp::Change(a),
+            EncOp::Insert(b.clone()),
+            EncOp::Change(b),
+        ]);
+    }
+    (Vec::new(), ops)
+}
+
+/// One audited B10 run; returns the engine output for the scaling table.
+pub fn b10_run(kind: oodb_engine::CcKind, shards: usize, txns: usize) -> oodb_engine::EngineOutput {
+    use oodb_engine::EngineConfig;
+    let (preload, txn_ops) = b10_workload(txns);
+    let cfg = EngineConfig {
+        workers: 8,
+        queue_capacity: 64,
+        shards,
+        seed: 42,
+        ..EngineConfig::default()
+    };
+    let engine = oodb_engine::Engine::start(cfg, kind);
+    engine.preload(&preload);
+    for ops in txn_ops {
+        engine
+            .submit_blocking(ops)
+            .expect("engine accepts work until shutdown");
+    }
+    engine.shutdown()
+}
+
+/// **B10** — committed-transaction throughput vs shard count, both
+/// protocols, on a low-contention disjoint-key workload. The sharded
+/// certifier validates each commit against its shard-connected
+/// component (singletons here, thanks to settled-transaction pruning)
+/// instead of re-inferring dependencies over the whole growing record —
+/// an O(history) → O(component) drop that the 1-shard column pays in
+/// full. Sharded strict 2PL splits the lock-manager mutex `n` ways, but
+/// the shared database mutex remains the next ceiling, so its curve is
+/// flatter — decentralizing the *protocol* is necessary, not sufficient.
+/// Every run is audited (merged per-shard decisions, Definition 16).
+pub fn b10() -> String {
+    use oodb_engine::CcKind;
+
+    const TXNS: usize = 120;
+    let mut t = Table::new(&[
+        "cc",
+        "shards",
+        "committed",
+        "retries",
+        "cross-shard",
+        "throughput/s",
+        "speedup",
+        "oo-serializable",
+    ]);
+    for kind in [CcKind::Pessimistic, CcKind::Optimistic] {
+        let mut base = None;
+        for &shards in &[1usize, 2, 4, 8] {
+            let out = b10_run(kind, shards, TXNS);
+            let audit = out.audit.as_ref().expect("audit enabled");
+            let tput = out.metrics.throughput_per_sec;
+            let base_tput = *base.get_or_insert(tput);
+            t.row(vec![
+                out.cc_name.to_string(),
+                shards.to_string(),
+                out.metrics.committed.to_string(),
+                out.metrics.retries.to_string(),
+                out.metrics.cross_shard.to_string(),
+                f3(tput),
+                format!("{:.2}x", tput / base_tput.max(1e-9)),
+                audit.report.oo_decentralized.is_ok().to_string(),
+            ]);
+        }
+    }
+    format!(
+        "B10 — sharded concurrency control scaling: committed-txn\n\
+         throughput vs shard count ({TXNS} disjoint-key transactions,\n\
+         8 workers; speedup is relative to the same protocol at 1 shard;\n\
+         every run audited over the merged per-shard decisions)\n\n{}",
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -638,6 +730,31 @@ mod tests {
         assert!(
             !s.contains("false"),
             "every audited run oo-serializable: {s}"
+        );
+    }
+
+    /// The acceptance floor for the sharded engine: on the disjoint-key
+    /// workload, 8-shard optimistic throughput is at least 1.5x the
+    /// 1-shard baseline (component validation vs whole-record
+    /// re-inference), and both runs audit clean.
+    #[test]
+    fn b10_sharded_optimistic_scales() {
+        use oodb_engine::CcKind;
+        let one = b10_run(CcKind::Optimistic, 1, 96);
+        let eight = b10_run(CcKind::Optimistic, 8, 96);
+        for (label, out) in [("1 shard", &one), ("8 shards", &eight)] {
+            assert_eq!(out.metrics.committed, 96, "{label}");
+            let audit = out.audit.as_ref().expect("audit enabled");
+            assert!(audit.report.oo_decentralized.is_ok(), "{label}");
+            assert!(audit.report.oo_global.is_ok(), "{label}");
+        }
+        let speedup = eight.metrics.throughput_per_sec / one.metrics.throughput_per_sec.max(1e-9);
+        assert!(
+            speedup >= 1.5,
+            "8-shard optimistic must beat 1-shard by >=1.5x, got {speedup:.2}x \
+             ({:.0}/s vs {:.0}/s)",
+            eight.metrics.throughput_per_sec,
+            one.metrics.throughput_per_sec
         );
     }
 

@@ -229,8 +229,14 @@ impl Certifier {
 }
 
 /// The sub-history containing only primitives of transactions in `scope`,
-/// in the original order.
-fn restrict_history(ts: &TransactionSystem, history: &History, scope: &HashSet<TxnIdx>) -> History {
+/// in the original order. Shared by the certifier's validation scope, the
+/// sharded certifier's component-restricted validation, and the engine's
+/// merged committed-projection audit.
+pub fn restrict_history(
+    ts: &TransactionSystem,
+    history: &History,
+    scope: &HashSet<TxnIdx>,
+) -> History {
     let order: Vec<ActionIdx> = history
         .order()
         .iter()

@@ -25,7 +25,7 @@
 
 use crate::graph::DiGraph;
 use crate::history::History;
-use crate::ids::{ActionIdx, ObjectIdx};
+use crate::ids::{ActionIdx, ObjectIdx, TxnIdx};
 use crate::system::TransactionSystem;
 use std::collections::{HashMap, HashSet};
 
@@ -144,10 +144,57 @@ pub struct SystemSchedules {
 impl SystemSchedules {
     /// Run the dependency-inference fixpoint over `ts` and `history`.
     pub fn infer(ts: &TransactionSystem, history: &History) -> Self {
-        let mut schedules: Vec<ObjectSchedule> = ts
+        let schedules: Vec<ObjectSchedule> = ts
             .object_indices()
             .map(|o| ObjectSchedule::new(o, ts.actions_on(o), ts.transactions_on(o)))
             .collect();
+        Self::run(ts, history, schedules)
+    }
+
+    /// [`SystemSchedules::infer`] restricted to the actions of `scope`
+    /// transactions. Sound for use with a history restricted to the same
+    /// scope: an out-of-scope action can neither seed an edge (Axiom 1
+    /// needs both primitives executed in the history; Definition 5 needs
+    /// both effective footprints, which are `None` for unexecuted
+    /// originals) nor receive one (the fixpoint only extends existing
+    /// edges), so pruning them changes no derived dependency — it only
+    /// drops isolated graph nodes. The cost drops from quadratic in the
+    /// whole record to quadratic in the scope, which is what lets a
+    /// validator re-run inference per commit instead of amortizing one
+    /// global fixpoint.
+    pub fn infer_scoped(
+        ts: &TransactionSystem,
+        history: &History,
+        scope: &HashSet<TxnIdx>,
+    ) -> Self {
+        let nobj = ts.object_indices().count();
+        let mut acts: Vec<Vec<ActionIdx>> = vec![Vec::new(); nobj];
+        let mut txns: Vec<Vec<ActionIdx>> = vec![Vec::new(); nobj];
+        for a in ts.action_indices() {
+            let info = ts.action(a);
+            if !scope.contains(&info.txn) {
+                continue;
+            }
+            let o = info.object.as_usize();
+            acts[o].push(a);
+            if let Some(p) = info.parent {
+                if !txns[o].contains(&p) {
+                    txns[o].push(p);
+                }
+            }
+        }
+        let schedules: Vec<ObjectSchedule> = acts
+            .into_iter()
+            .zip(txns)
+            .enumerate()
+            .map(|(o, (a, t))| ObjectSchedule::new(ObjectIdx(o as u32), a, t))
+            .collect();
+        Self::run(ts, history, schedules)
+    }
+
+    /// Seeding + fixpoint over pre-built (possibly scope-filtered)
+    /// object schedules.
+    fn run(ts: &TransactionSystem, history: &History, mut schedules: Vec<ObjectSchedule>) -> Self {
         let mut trace: Trace = Vec::new();
 
         // Precompute the conflicting pairs of every object once; the

@@ -247,6 +247,48 @@ proptest! {
         }
     }
 
+    /// Scope-filtered inference (what the sharded validator runs per
+    /// commit) is indistinguishable, edge for edge, from running the
+    /// full fixpoint over the same scope-restricted history — for every
+    /// scope, not just the full one.
+    #[test]
+    fn scoped_inference_matches_full_on_restricted_history(
+        plan in system_plan(),
+        mask in any::<u32>(),
+    ) {
+        use oodb_core::certifier::restrict_history;
+        use oodb_core::ids::TxnIdx;
+        let (ts, prims) = build(&plan);
+        let order = interleave(&prims, &plan.shuffle);
+        let h = History::from_order(&ts, &order).unwrap();
+        let n = ts.top_level().len();
+        let scope: std::collections::HashSet<TxnIdx> = (0..n)
+            .filter(|t| mask >> (t % 32) & 1 == 1)
+            .map(|t| TxnIdx(t as u32))
+            .collect();
+        let restricted = restrict_history(&ts, &h, &scope);
+        let full = SystemSchedules::infer(&ts, &restricted);
+        let scoped = SystemSchedules::infer_scoped(&ts, &restricted, &scope);
+        for o in ts.object_indices() {
+            let pairs = [
+                (&full.schedule(o).action_deps, &scoped.schedule(o).action_deps),
+                (&full.schedule(o).txn_deps, &scoped.schedule(o).txn_deps),
+                (&full.schedule(o).added_deps, &scoped.schedule(o).added_deps),
+            ];
+            for (g_full, g_scoped) in pairs {
+                prop_assert_eq!(
+                    g_full.edge_count(),
+                    g_scoped.edge_count(),
+                    "object {}",
+                    ts.object(o).name.clone()
+                );
+                for (f, t) in g_full.edges() {
+                    prop_assert!(g_scoped.has_edge(f, t));
+                }
+            }
+        }
+    }
+
     /// Acyclicity of the per-object caller dependency relation coincides
     /// with the literal "equivalent serial object schedule exists"
     /// (Definition 13 (i) with Definition 8's caller-level serial

@@ -2,9 +2,11 @@
 
 use crate::cc::ConcurrencyControl;
 use oodb_core::history::History;
+use oodb_core::ids::TxnIdx;
 use oodb_core::prelude::{analyze, extend_virtual_objects, SerializabilityReport};
 use oodb_core::system::TransactionSystem;
 use oodb_model::Recorder;
+use std::collections::BTreeSet;
 
 /// What part of the record the audit verified.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +30,34 @@ pub struct AuditOutput {
     pub report: SerializabilityReport,
     /// Which sub-history was verified.
     pub scope: AuditScope,
+}
+
+impl AuditOutput {
+    /// The distinct transactions whose primitives appear in the audited
+    /// history. Under [`AuditScope::CommittedOnly`] this is exactly the
+    /// merged committed set (the union of every shard's commit
+    /// decisions) — retried attempts and compensations never appear;
+    /// under [`AuditScope::FullRecord`] it spans the complete record.
+    pub fn audited_txns(&self) -> BTreeSet<TxnIdx> {
+        self.history
+            .order()
+            .iter()
+            .map(|&a| self.ts.action(a).txn)
+            .collect()
+    }
+
+    /// The root names of the audited transactions (e.g. `"J3"`,
+    /// `"J3r1"`, `"C(J3a0)"`, `"Setup"`), for pinning audit-scope
+    /// semantics in tests.
+    pub fn audited_txn_names(&self) -> BTreeSet<String> {
+        self.audited_txns()
+            .iter()
+            .map(|t| {
+                let root = self.ts.top_level()[t.as_usize()];
+                self.ts.action(root).descriptor.method.clone()
+            })
+            .collect()
+    }
 }
 
 /// Snapshot the recorder, extend virtual objects (Definition 5), restrict

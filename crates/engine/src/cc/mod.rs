@@ -15,9 +15,11 @@
 
 mod optimistic;
 mod pessimistic;
+mod sharded;
 
 pub use optimistic::OptimisticCc;
 pub use pessimistic::PessimisticCc;
+pub use sharded::{shard_of_key, Shardable, ShardedCc, ShardedOptimisticCc, ShardedPessimisticCc};
 
 use crate::metrics::EngineMetrics;
 use oodb_btree::CompensatedEncyclopedia;
@@ -65,6 +67,20 @@ pub enum OpGrant {
     AbortVictim,
 }
 
+/// Where one operation's concurrency bookkeeping routes when the key
+/// space is partitioned across shards (see
+/// [`route`](ConcurrencyControl::route)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardRoute {
+    /// The operation's footprint is a single key; all bookkeeping lives
+    /// on one shard.
+    One(usize),
+    /// The operation's footprint spans the whole container (sequential
+    /// and range scans under hash partitioning): it must be visible on
+    /// every shard.
+    All,
+}
+
 /// Decision at commit point, returned by
 /// [`ConcurrencyControl::try_finish`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +119,29 @@ pub trait ConcurrencyControl: Send + Sync {
     /// Called after the worker compensated an aborted attempt (release
     /// locks, register the abort, doom dependents).
     fn after_abort(&self, shared: &EngineShared, txn: &TxnHandle);
+
+    /// Number of independent concurrency-control shards this strategy
+    /// partitions the key space into. `1` means a single global
+    /// structure (the unsharded strategies).
+    fn shards(&self) -> usize {
+        1
+    }
+
+    /// Which shard(s) `op`'s bookkeeping routes to:
+    /// `shard(key) = hash(key) % shards()` for keyed operations, every
+    /// shard for container-wide scans. Single-shard strategies route
+    /// everything to shard 0.
+    fn route(&self, op: &EncOp) -> ShardRoute;
+
+    /// Fault-injection hook, consulted by the worker after each executed
+    /// operation (`ops_done` operations of the attempt have run). `true`
+    /// forces the attempt to abort mid-flight — compensating and
+    /// releasing on every shard it touched — exactly as a real failure
+    /// would. The default never fires; the sharded strategies expose
+    /// test knobs that arm it.
+    fn inject_abort(&self, _txn: &TxnHandle, _ops_done: usize) -> bool {
+        false
+    }
 
     /// True when a cascading abort has doomed this attempt; the worker
     /// checks between operations and aborts promptly.

@@ -2,8 +2,8 @@
 //! oo-serializability at commit, cascade aborts through commit
 //! dependencies.
 
-use super::{ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, TxnHandle};
-use oodb_core::certifier::{Certifier, CertifierMode, CommitOutcome};
+use super::{ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, ShardRoute, TxnHandle};
+use oodb_core::certifier::{Certifier, CertifierMode, CommitOutcome, WaitPolicy};
 use oodb_core::history::History;
 use oodb_core::ids::TxnIdx;
 use oodb_core::schedule::SystemSchedules;
@@ -26,6 +26,15 @@ use std::collections::HashSet;
 pub struct OptimisticCc {
     cert: Mutex<Certifier>,
     doomed: Mutex<HashSet<TxnIdx>>,
+    /// Attempts currently executing under this control (registered at
+    /// their first operation, cleared at finalization). Commit
+    /// dependencies wait only on *these*: a predecessor outside the
+    /// concurrency control — a compensation transaction — is final by
+    /// definition and can never abort underneath the candidate, so
+    /// waiting on it would starve every retry that touches a
+    /// compensated key.
+    live: Mutex<HashSet<TxnIdx>>,
+    mode: CertifierMode,
     name: &'static str,
 }
 
@@ -38,13 +47,23 @@ impl OptimisticCc {
     /// Certify against the chosen serializability check.
     pub fn with_mode(mode: CertifierMode) -> Self {
         OptimisticCc {
-            cert: Mutex::new(Certifier::new(mode)),
+            // the wait check runs here (scoped to live managed attempts),
+            // not in the certifier (which would wait on any unfinalized
+            // transaction in the record, compensations included)
+            cert: Mutex::new(Certifier::new(mode).with_wait_policy(WaitPolicy::Ignore)),
             doomed: Mutex::new(HashSet::new()),
+            live: Mutex::new(HashSet::new()),
+            mode,
             name: match mode {
                 CertifierMode::Paper => "optimistic",
                 CertifierMode::Global => "optimistic-global",
             },
         }
+    }
+
+    /// The serializability check gating commits.
+    pub(super) fn mode(&self) -> CertifierMode {
+        self.mode
     }
 
     /// Live transactions that depend on `txn` (read its effects): the
@@ -88,6 +107,7 @@ impl ConcurrencyControl for OptimisticCc {
         if self.doomed.lock().contains(&txn.txn) {
             OpGrant::AbortVictim
         } else {
+            self.live.lock().insert(txn.txn);
             OpGrant::Granted
         }
     }
@@ -98,14 +118,35 @@ impl ConcurrencyControl for OptimisticCc {
         }
         let (ts, history) = shared.rec.snapshot();
         let mut cert = self.cert.lock();
+        {
+            // commit dependency: a *live managed* predecessor must
+            // finalize first (it may still abort and compensate away
+            // state the candidate built on)
+            let live = self.live.lock();
+            let ss = SystemSchedules::infer(&ts, &history);
+            let top = ss.top_level_deps(&ts);
+            let me = ts.top_level()[txn.txn.as_usize()];
+            for (f, t) in top.edges() {
+                if *t == me {
+                    let pred = ts.action(*f).txn;
+                    if pred != txn.txn && live.contains(&pred) {
+                        return FinishOutcome::Wait;
+                    }
+                }
+            }
+        }
         match cert.try_commit(&ts, &history, txn.txn) {
-            CommitOutcome::Committed => FinishOutcome::Committed,
+            CommitOutcome::Committed => {
+                self.live.lock().remove(&txn.txn);
+                FinishOutcome::Committed
+            }
             CommitOutcome::MustWait { .. } => FinishOutcome::Wait,
             CommitOutcome::MustAbort(_) => {
                 // the certifier already moved us to the aborted set; doom
                 // everyone who read our soon-compensated effects
                 let cascade = Self::live_dependents(&cert, &ts, &history, txn.txn);
                 drop(cert);
+                self.live.lock().remove(&txn.txn);
                 self.doomed.lock().extend(cascade);
                 FinishOutcome::Abort
             }
@@ -127,9 +168,15 @@ impl ConcurrencyControl for OptimisticCc {
             Vec::new()
         };
         drop(cert);
+        self.live.lock().remove(&txn.txn);
         let mut doomed = self.doomed.lock();
         doomed.remove(&txn.txn); // this attempt is finished for good
         doomed.extend(cascade);
+    }
+
+    fn route(&self, _op: &EncOp) -> ShardRoute {
+        // one global certifier: every key routes to the only shard
+        ShardRoute::One(0)
     }
 
     fn is_doomed(&self, txn: &TxnHandle) -> bool {

@@ -2,7 +2,7 @@
 //! victims — the paper's open-nested protocol as a worker-pool
 //! concurrency control.
 
-use super::{ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, TxnHandle};
+use super::{ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, ShardRoute, TxnHandle};
 use oodb_core::commutativity::ActionDescriptor;
 use oodb_lock::{LockManager, LockOutcome};
 use oodb_sim::exec::{enc_lock_manager, op_descriptor, page_descriptor, ENC_RESOURCE};
@@ -23,6 +23,7 @@ pub struct PessimisticCc {
     locks: Mutex<LockManager>,
     released: Condvar,
     descriptor: fn(&EncOp) -> ActionDescriptor,
+    page: bool,
     name: &'static str,
 }
 
@@ -33,6 +34,7 @@ impl PessimisticCc {
             locks: Mutex::new(enc_lock_manager()),
             released: Condvar::new(),
             descriptor: op_descriptor,
+            page: false,
             name: "pessimistic",
         }
     }
@@ -43,8 +45,14 @@ impl PessimisticCc {
             locks: Mutex::new(enc_lock_manager()),
             released: Condvar::new(),
             descriptor: page_descriptor,
+            page: true,
             name: "pessimistic-page",
         }
+    }
+
+    /// True for the page-granularity ablation (whole-container locks).
+    pub(super) fn is_page_level(&self) -> bool {
+        self.page
     }
 
     /// Block until the lock is granted; `false` means this owner was
@@ -102,6 +110,11 @@ impl ConcurrencyControl for PessimisticCc {
         // locks were still held while the worker compensated — nobody
         // observed uncommitted semantic state — release them now
         self.release(txn);
+    }
+
+    fn route(&self, _op: &EncOp) -> ShardRoute {
+        // one global lock manager: every key routes to the only shard
+        ShardRoute::One(0)
     }
 
     fn strict_compensation(&self) -> bool {

@@ -61,6 +61,13 @@ pub struct EngineConfig {
     pub seed: u64,
     /// B-link tree fanout of the underlying encyclopedia.
     pub fanout: usize,
+    /// Number of concurrency-control shards the key space is partitioned
+    /// into (`shard(key) = hash(key) % shards`). `1` (the default) keeps
+    /// the single global lock manager / certifier; larger values give
+    /// each strategy per-shard structures, so independent keys stop
+    /// contending on one mutex. Conflicting operations always meet on a
+    /// common shard, so the protocol guarantees are unchanged.
+    pub shards: usize,
     /// Record and verify the execution on shutdown: pessimistic runs
     /// audit the complete record (including aborted attempts and their
     /// compensations), optimistic runs audit the committed projection.
@@ -78,6 +85,7 @@ impl Default for EngineConfig {
             txn_deadline: None,
             seed: 0,
             fanout: 8,
+            shards: 1,
             audit: true,
         }
     }
@@ -93,6 +101,7 @@ mod tests {
         assert!(c.workers >= 1);
         assert!(c.queue_capacity >= c.workers);
         assert!(c.base_backoff <= c.max_backoff);
+        assert_eq!(c.shards, 1, "sharding is opt-in");
         assert_eq!(CcKind::default(), CcKind::Pessimistic);
         assert_eq!(CcKind::Optimistic.label(), "optimistic");
     }

@@ -45,11 +45,12 @@ pub mod worker;
 
 pub use audit::{audit, AuditOutput, AuditScope};
 pub use cc::{
-    ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, OptimisticCc, PessimisticCc,
+    shard_of_key, ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, OptimisticCc,
+    PessimisticCc, ShardRoute, Shardable, ShardedCc, ShardedOptimisticCc, ShardedPessimisticCc,
     TxnHandle,
 };
 pub use config::{CcKind, EngineConfig};
-pub use metrics::{EngineMetrics, Histogram, MetricsSnapshot};
+pub use metrics::{EngineMetrics, Histogram, MetricsSnapshot, ShardLane, ShardLaneSnapshot};
 pub use queue::{Job, JobQueue};
 pub use worker::retry_delay;
 
@@ -75,17 +76,32 @@ pub struct EngineOutput {
     pub metrics: MetricsSnapshot,
     /// Serializability verdicts (when [`EngineConfig::audit`] is set).
     pub audit: Option<AuditOutput>,
+    /// Every `(key, text)` pair present in the database after the drain,
+    /// in key order — the observable final object state (read after the
+    /// audit snapshot, so the read itself is never audited).
+    pub final_state: Vec<(String, String)>,
     /// The concurrency-control strategy that ran.
     pub cc_name: &'static str,
 }
 
 impl Engine {
     /// Start an engine with one of the built-in strategies.
+    /// [`EngineConfig::shards`] > 1 selects the sharded variant of the
+    /// chosen strategy (per-shard lock managers / committed sets).
     pub fn start(cfg: EngineConfig, kind: CcKind) -> Engine {
-        let cc: Arc<dyn ConcurrencyControl> = match kind {
-            CcKind::Pessimistic => Arc::new(PessimisticCc::semantic()),
-            CcKind::PessimisticPage => Arc::new(PessimisticCc::page_level()),
-            CcKind::Optimistic => Arc::new(OptimisticCc::new()),
+        let shards = cfg.shards.max(1);
+        let cc: Arc<dyn ConcurrencyControl> = if shards > 1 {
+            match kind {
+                CcKind::Pessimistic => Arc::new(ShardedPessimisticCc::semantic(shards)),
+                CcKind::PessimisticPage => Arc::new(ShardedPessimisticCc::page_level(shards)),
+                CcKind::Optimistic => Arc::new(ShardedOptimisticCc::new(shards)),
+            }
+        } else {
+            match kind {
+                CcKind::Pessimistic => Arc::new(PessimisticCc::semantic()),
+                CcKind::PessimisticPage => Arc::new(PessimisticCc::page_level()),
+                CcKind::Optimistic => Arc::new(OptimisticCc::new()),
+            }
         };
         Self::start_with(cfg, cc)
     }
@@ -104,7 +120,7 @@ impl Engine {
         let shared = Arc::new(EngineShared {
             rec,
             enc: Mutex::new(CompensatedEncyclopedia::new(enc)),
-            metrics: EngineMetrics::new(),
+            metrics: EngineMetrics::with_shards(cc.shards()),
         });
         let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
         let workers = (0..cfg.workers.max(1))
@@ -202,9 +218,23 @@ impl Engine {
             .cfg
             .audit
             .then(|| audit::audit(&self.shared.rec, self.cc.as_ref()));
+        // read the final state AFTER the audit snapshot so the read-only
+        // dump transaction never pollutes the audited record
+        let final_state = {
+            let enc = self.shared.enc.lock();
+            let mut ctx = self.shared.rec.begin_txn("Dump");
+            let mut items: Vec<(String, String)> = enc
+                .read_seq(&mut ctx)
+                .into_iter()
+                .map(|(_, k, text)| (k, text))
+                .collect();
+            items.sort();
+            items
+        };
         EngineOutput {
             metrics,
             audit,
+            final_state,
             cc_name: self.cc.name(),
         }
     }

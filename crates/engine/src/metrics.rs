@@ -66,12 +66,41 @@ impl Histogram {
     }
 }
 
+/// Per-shard contention counters of a sharded concurrency control
+/// (empty for single-shard strategies).
+#[derive(Debug, Default)]
+pub struct ShardLane {
+    /// Operations routed to (and granted on) this shard.
+    pub ops: AtomicU64,
+    /// Contention events on this shard: lock waits under sharded
+    /// pessimistic control, scope revalidations under sharded optimistic.
+    pub blocked: AtomicU64,
+    /// Committed transactions whose footprint included this shard.
+    pub commits: AtomicU64,
+}
+
+/// Frozen view of one [`ShardLane`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLaneSnapshot {
+    /// Operations routed to this shard.
+    pub ops: u64,
+    /// Contention events on this shard.
+    pub blocked: u64,
+    /// Commits whose footprint included this shard.
+    pub commits: u64,
+}
+
 /// Shared engine counters. All updates are relaxed atomics; a
 /// [`snapshot`](EngineMetrics::snapshot) gives a consistent-enough view
 /// for reporting.
 #[derive(Debug)]
 pub struct EngineMetrics {
     started_at: Instant,
+    /// Per-shard contention lanes (one per concurrency-control shard).
+    shard_lanes: Vec<ShardLane>,
+    /// Committed transactions whose footprint spanned more than one
+    /// shard.
+    pub cross_shard: AtomicU64,
     /// Jobs admitted to the queue.
     pub submitted: AtomicU64,
     /// Jobs whose transaction committed.
@@ -97,8 +126,18 @@ pub struct EngineMetrics {
 impl EngineMetrics {
     /// Fresh metrics; the throughput clock starts now.
     pub fn new() -> Self {
+        Self::with_shards(0)
+    }
+
+    /// Fresh metrics with `shards` per-shard contention lanes (pass the
+    /// concurrency control's shard count; 0 or 1 means no lanes).
+    pub fn with_shards(shards: usize) -> Self {
         EngineMetrics {
             started_at: Instant::now(),
+            shard_lanes: (0..if shards > 1 { shards } else { 0 })
+                .map(|_| ShardLane::default())
+                .collect(),
+            cross_shard: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             committed: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
@@ -111,12 +150,49 @@ impl EngineMetrics {
         }
     }
 
+    /// Count one operation routed to shard `s` (no-op without lanes).
+    pub fn shard_op(&self, s: usize) {
+        if let Some(lane) = self.shard_lanes.get(s) {
+            lane.ops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one contention event on shard `s` (no-op without lanes).
+    pub fn shard_block(&self, s: usize) {
+        if let Some(lane) = self.shard_lanes.get(s) {
+            lane.blocked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one commit whose footprint included shard `s` (no-op
+    /// without lanes).
+    pub fn shard_commit(&self, s: usize) {
+        if let Some(lane) = self.shard_lanes.get(s) {
+            lane.commits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one committed cross-shard transaction.
+    pub fn cross_shard_inc(&self) {
+        self.cross_shard.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every counter plus derived rates.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let elapsed = self.started_at.elapsed();
         let committed = self.committed.load(Ordering::Relaxed);
         MetricsSnapshot {
             elapsed,
+            shards: self
+                .shard_lanes
+                .iter()
+                .map(|l| ShardLaneSnapshot {
+                    ops: l.ops.load(Ordering::Relaxed),
+                    blocked: l.blocked.load(Ordering::Relaxed),
+                    commits: l.commits.load(Ordering::Relaxed),
+                })
+                .collect(),
+            cross_shard: self.cross_shard.load(Ordering::Relaxed),
             submitted: self.submitted.load(Ordering::Relaxed),
             committed,
             aborted: self.aborted.load(Ordering::Relaxed),
@@ -144,6 +220,10 @@ impl Default for EngineMetrics {
 pub struct MetricsSnapshot {
     /// Wall-clock time since the engine started.
     pub elapsed: Duration,
+    /// Per-shard contention lanes (empty for single-shard strategies).
+    pub shards: Vec<ShardLaneSnapshot>,
+    /// Committed transactions spanning more than one shard.
+    pub cross_shard: u64,
     /// Jobs admitted.
     pub submitted: u64,
     /// Jobs committed.
@@ -187,7 +267,12 @@ impl std::fmt::Display for MetricsSnapshot {
             self.lock_wait_p99,
             self.e2e_p50,
             self.e2e_p99,
-        )
+        )?;
+        if !self.shards.is_empty() {
+            let ops: Vec<u64> = self.shards.iter().map(|s| s.ops).collect();
+            write!(f, " cross-shard {} shard-ops {:?}", self.cross_shard, ops)?;
+        }
+        Ok(())
     }
 }
 

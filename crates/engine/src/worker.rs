@@ -96,6 +96,7 @@ pub(crate) fn process_job(
         };
 
         let mut aborting = false;
+        let mut ops_done = 0usize;
         for op in &job.ops {
             if cc.is_doomed(&handle) {
                 aborting = true;
@@ -115,6 +116,13 @@ pub(crate) fn process_job(
                     aborting = true;
                     break;
                 }
+            }
+            ops_done += 1;
+            // fault injection: abort mid-flight exactly as a real failure
+            // would, compensating on every shard touched so far
+            if cc.inject_abort(&handle, ops_done) {
+                aborting = true;
+                break;
             }
         }
 

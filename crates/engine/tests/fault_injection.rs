@@ -1,0 +1,290 @@
+//! Cross-shard abort compensation: a transaction injected to fail
+//! mid-flight — after its footprint already spans several shards — must
+//! compensate and release on **every** shard it touched: no orphaned
+//! lock grants, no orphaned certifier entries, and a clean retry that
+//! commits. Exercised through the worker's `inject_abort` hook (real
+//! engine, real retry machinery) and through a deterministic
+//! direct-drive of the protocol hooks.
+
+use oodb_btree::{CompensatedEncyclopedia, Encyclopedia, EncyclopediaConfig};
+use oodb_core::ids::TxnIdx;
+use oodb_engine::{
+    audit, shard_of_key, ConcurrencyControl, Engine, EngineConfig, EngineMetrics, EngineShared,
+    FinishOutcome, OpGrant, ShardedOptimisticCc, ShardedPessimisticCc, TxnHandle,
+};
+use oodb_lock::OwnerId;
+use oodb_sim::exec::apply_op;
+use oodb_sim::EncOp;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// `n` keys, one per shard of an `n`-way partition (probed via the
+/// engine's stable hash).
+fn keys_on_distinct_shards(n: usize) -> Vec<String> {
+    let mut found: Vec<Option<String>> = vec![None; n];
+    for i in 0.. {
+        let k = format!("k{i:06}");
+        let s = shard_of_key(&k, n);
+        if found[s].is_none() {
+            found[s] = Some(k);
+            if found.iter().all(Option::is_some) {
+                break;
+            }
+        }
+    }
+    found.into_iter().map(Option::unwrap).collect()
+}
+
+fn cfg(shards: usize) -> EngineConfig {
+    EngineConfig {
+        workers: 2,
+        queue_capacity: 16,
+        shards,
+        seed: 31,
+        ..EngineConfig::default()
+    }
+}
+
+/// Fault-injected cross-shard abort under sharded strict 2PL: the
+/// victim's locks are released on every shard it had acquired, the
+/// retry commits, and nothing is left behind in the lock tables or the
+/// waits-for registry.
+#[test]
+fn pessimistic_cross_shard_abort_releases_every_shard() {
+    let shards = 4;
+    let keys = keys_on_distinct_shards(shards);
+    let cc = Arc::new(ShardedPessimisticCc::semantic(shards));
+    // job 0, first attempt: dies after 2 of its 4 cross-shard ops
+    cc.inject_fault_after(0, 0, 2);
+    let engine = Engine::start_with(cfg(shards), cc.clone());
+    engine.preload(&keys);
+    let victim: Vec<EncOp> = keys.iter().map(|k| EncOp::Change(k.clone())).collect();
+    engine.submit_blocking(victim).unwrap();
+    for i in 0..4 {
+        engine
+            .submit_blocking(vec![EncOp::Insert(format!("other{i}"))])
+            .unwrap();
+    }
+    let out = engine.shutdown();
+    assert_eq!(
+        out.metrics.committed, 5,
+        "victim's retry and the rest commit"
+    );
+    assert_eq!(out.metrics.retries, 1, "exactly the injected abort");
+    assert_eq!(out.metrics.aborted, 0);
+    // no orphaned state on any shard
+    assert_eq!(cc.residual_grants(), vec![0; shards], "no orphaned locks");
+    assert_eq!(cc.tracked_owners(), 0, "no orphaned footprints");
+    assert_eq!(cc.waiting_owners(), 0, "no orphaned waits-for entries");
+    let audit_out = out.audit.expect("audit enabled");
+    assert!(
+        audit_out.report.oo_decentralized.is_ok() && audit_out.report.oo_global.is_ok(),
+        "full record (forward work + compensation) stays oo-serializable"
+    );
+    // the retry's forward work survived compensation of the first attempt
+    for k in &keys {
+        let text = out
+            .final_state
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, t)| t.as_str());
+        assert_eq!(text, Some("changed by 1"), "retry's update to {k} stands");
+    }
+}
+
+/// The same injected cross-shard abort under the sharded certifier: the
+/// aborted attempt's per-shard footprint entries are dropped (no
+/// orphaned certifier entries), the cascade set stays consistent, and
+/// the retry commits through validation.
+#[test]
+fn optimistic_cross_shard_abort_drops_every_certifier_entry() {
+    let shards = 4;
+    let keys = keys_on_distinct_shards(shards);
+    let cc = Arc::new(ShardedOptimisticCc::new(shards));
+    cc.inject_fault_after(0, 0, 2);
+    let engine = Engine::start_with(cfg(shards), cc.clone());
+    engine.preload(&keys);
+    let victim: Vec<EncOp> = keys.iter().map(|k| EncOp::Change(k.clone())).collect();
+    engine.submit_blocking(victim).unwrap();
+    for i in 0..4 {
+        engine
+            .submit_blocking(vec![EncOp::Insert(format!("other{i}"))])
+            .unwrap();
+    }
+    let out = engine.shutdown();
+    assert_eq!(out.metrics.committed, 5);
+    assert!(out.metrics.retries >= 1, "the injected abort fired");
+    assert_eq!(out.metrics.aborted, 0);
+    assert_eq!(cc.live_entries(), 0, "no attempt left live after drain");
+    assert_eq!(cc.orphaned_entries(), 0, "no orphaned shard footprints");
+    assert_eq!(
+        cc.committed_count(),
+        6,
+        "5 workload transactions + the Setup preload"
+    );
+    let (stats, _) = cc.stats();
+    assert!(stats.aborts >= 1, "the certifier recorded the victim abort");
+    let audit_out = out.audit.expect("audit enabled");
+    assert!(
+        audit_out.report.oo_decentralized.is_ok() && audit_out.report.oo_global.is_ok(),
+        "merged committed projection stays oo-serializable"
+    );
+    for k in &keys {
+        let text = out
+            .final_state
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, t)| t.as_str());
+        assert_eq!(text, Some("changed by 1"), "retry's update to {k} stands");
+    }
+}
+
+fn shared_with(cc_shards: usize) -> EngineShared {
+    let rec = oodb_model::Recorder::new();
+    let enc = Encyclopedia::create(
+        rec.clone(),
+        EncyclopediaConfig {
+            fanout: 8,
+            pool_frames: 1024,
+            ..EncyclopediaConfig::default()
+        },
+    );
+    EngineShared {
+        rec,
+        enc: Mutex::new(CompensatedEncyclopedia::new(enc)),
+        metrics: EngineMetrics::with_shards(cc_shards),
+    }
+}
+
+/// Deterministic direct-drive of the pessimistic hooks: acquire on three
+/// shards, abort mid-flight while the locks are still held, and verify
+/// shard-by-shard cleanup before a fresh attempt commits.
+#[test]
+fn direct_drive_pessimistic_partial_acquisition_cleanup() {
+    let shards = 3;
+    let keys = keys_on_distinct_shards(shards);
+    let cc = ShardedPessimisticCc::semantic(shards);
+    let shared = shared_with(cc.shards());
+    // preload through the protocol so the audit sees a clean record
+    let mut setup = shared.rec.begin_txn("Setup");
+    let setup_handle = handle(&setup, u64::MAX, 0);
+    for k in &keys {
+        let op = EncOp::Insert(k.clone());
+        assert_eq!(cc.before_op(&shared, &setup_handle, &op), OpGrant::Granted);
+        apply_op(&mut shared.enc.lock(), &mut setup, &op, 0);
+    }
+    assert_eq!(
+        cc.try_finish(&shared, &setup_handle),
+        FinishOutcome::Committed
+    );
+    shared.enc.lock().commit(setup);
+    cc.after_commit(&shared, &setup_handle);
+
+    // attempt 0: touches all three shards, then dies mid-flight
+    let mut t = shared.rec.begin_txn("J1");
+    let h0 = handle(&t, 0, 0);
+    for k in &keys {
+        let op = EncOp::Change(k.clone());
+        assert_eq!(cc.before_op(&shared, &h0, &op), OpGrant::Granted);
+        apply_op(&mut shared.enc.lock(), &mut t, &op, 1);
+    }
+    assert_eq!(
+        cc.residual_grants().iter().filter(|&&g| g > 0).count(),
+        shards,
+        "locks held on every shard mid-flight"
+    );
+    assert_eq!(cc.tracked_owners(), 1);
+    // compensate under held locks (strict), then release everywhere
+    {
+        let mut enc = shared.enc.lock();
+        let mut comp = shared.rec.begin_txn("C(J1a0)");
+        let report = enc.abort(t, &mut comp);
+        assert!(report.failed.is_empty(), "strict compensation cannot fail");
+    }
+    cc.after_abort(&shared, &h0);
+    assert_eq!(cc.residual_grants(), vec![0; shards], "all shards released");
+    assert_eq!(cc.tracked_owners(), 0);
+    assert_eq!(cc.waiting_owners(), 0);
+
+    // the retry re-acquires everything and commits
+    let mut r = shared.rec.begin_txn("J1r1");
+    let h1 = handle(&r, 0, 1);
+    for k in &keys {
+        let op = EncOp::Change(k.clone());
+        assert_eq!(cc.before_op(&shared, &h1, &op), OpGrant::Granted);
+        apply_op(&mut shared.enc.lock(), &mut r, &op, 1);
+    }
+    assert_eq!(cc.try_finish(&shared, &h1), FinishOutcome::Committed);
+    shared.enc.lock().commit(r);
+    cc.after_commit(&shared, &h1);
+    assert_eq!(cc.residual_grants(), vec![0; shards]);
+
+    let out = audit(&shared.rec, &cc);
+    assert!(out.report.oo_decentralized.is_ok() && out.report.oo_global.is_ok());
+}
+
+/// Deterministic direct-drive of the certifier hooks: a victim abort
+/// after registering a footprint on two shards drops both entries, and
+/// the retry validates cleanly against the merged committed set.
+#[test]
+fn direct_drive_optimistic_victim_abort_cleanup() {
+    let shards = 3;
+    let keys = keys_on_distinct_shards(shards);
+    let cc = ShardedOptimisticCc::new(shards);
+    let shared = shared_with(shards);
+    let mut setup = shared.rec.begin_txn("Setup");
+    let sh = handle(&setup, u64::MAX, 0);
+    for k in &keys {
+        let op = EncOp::Insert(k.clone());
+        assert_eq!(cc.before_op(&shared, &sh, &op), OpGrant::Granted);
+        apply_op(&mut shared.enc.lock(), &mut setup, &op, 0);
+    }
+    assert_eq!(cc.try_finish(&shared, &sh), FinishOutcome::Committed);
+    shared.enc.lock().commit(setup);
+    cc.after_commit(&shared, &sh);
+
+    // attempt 0: footprint on two shards, then a victim abort
+    let mut t = shared.rec.begin_txn("J1");
+    let h0 = handle(&t, 0, 0);
+    for k in keys.iter().take(2) {
+        let op = EncOp::Change(k.clone());
+        assert_eq!(cc.before_op(&shared, &h0, &op), OpGrant::Granted);
+        apply_op(&mut shared.enc.lock(), &mut t, &op, 1);
+    }
+    assert_eq!(cc.live_entries(), 1, "attempt registered as live");
+    {
+        let mut enc = shared.enc.lock();
+        let mut comp = shared.rec.begin_txn("C(J1a0)");
+        enc.abort(t, &mut comp);
+    }
+    cc.after_abort(&shared, &h0);
+    assert_eq!(cc.live_entries(), 0, "victim left the live set");
+    assert_eq!(cc.orphaned_entries(), 0, "both shard footprints dropped");
+    assert!(cc.was_aborted(h0.txn), "registered with the certifier");
+
+    // the retry commits through component validation
+    let mut r = shared.rec.begin_txn("J1r1");
+    let h1 = handle(&r, 0, 1);
+    for k in &keys {
+        let op = EncOp::Change(k.clone());
+        assert_eq!(cc.before_op(&shared, &h1, &op), OpGrant::Granted);
+        apply_op(&mut shared.enc.lock(), &mut r, &op, 1);
+    }
+    assert_eq!(cc.try_finish(&shared, &h1), FinishOutcome::Committed);
+    shared.enc.lock().commit(r);
+    cc.after_commit(&shared, &h1);
+    assert_eq!(cc.orphaned_entries(), 0);
+    assert_eq!(cc.committed_count(), 2, "Setup + the retry");
+
+    let out = audit(&shared.rec, &cc);
+    assert!(out.report.oo_decentralized.is_ok() && out.report.oo_global.is_ok());
+}
+
+fn handle(ctx: &oodb_model::TxnCtx, job: u64, attempt: u32) -> TxnHandle {
+    TxnHandle {
+        job,
+        attempt,
+        txn: TxnIdx(ctx.txn_number()),
+        owner: OwnerId(u64::from(ctx.txn_number())),
+    }
+}

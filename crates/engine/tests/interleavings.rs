@@ -1,0 +1,527 @@
+//! Deterministic interleaving harness: replay a fixed operation trace
+//! under a virtual (single-threaded) scheduler, one recorded step at a
+//! time, and assert the merged audit passes for **every** interleaving
+//! of a small workload.
+//!
+//! The optimistic strategies never block in `before_op`, so the virtual
+//! scheduler can drive them through *op-granularity* interleavings —
+//! every merge of the transactions' operation sequences. The pessimistic
+//! strategies block inside the concurrency control (a single thread
+//! would deadlock against itself), so they are exercised at
+//! *transaction-arrival* granularity instead: every permutation of the
+//! submission order through the real engine.
+
+use oodb_btree::{CompensatedEncyclopedia, Encyclopedia, EncyclopediaConfig};
+use oodb_engine::{
+    audit, shard_of_key, CcKind, ConcurrencyControl, Engine, EngineConfig, EngineMetrics,
+    EngineShared, FinishOutcome, OpGrant, OptimisticCc, ShardedOptimisticCc, TxnHandle,
+};
+use oodb_lock::OwnerId;
+use oodb_model::TxnCtx;
+use oodb_sim::exec::apply_op;
+use oodb_sim::EncOp;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Every interleaving of streams with the given step counts: sequences
+/// over stream indices where stream `i` appears exactly `counts[i]`
+/// times, in lexicographic order (deterministic).
+fn interleavings(counts: &[usize]) -> Vec<Vec<usize>> {
+    fn rec(counts: &mut [usize], cur: &mut Vec<usize>, total: usize, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == total {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..counts.len() {
+            if counts[i] > 0 {
+                counts[i] -= 1;
+                cur.push(i);
+                rec(counts, cur, total, out);
+                cur.pop();
+                counts[i] += 1;
+            }
+        }
+    }
+    let total = counts.iter().sum();
+    let mut out = Vec::new();
+    rec(&mut counts.to_vec(), &mut Vec::new(), total, &mut out);
+    out
+}
+
+/// One attempt of one logical transaction inside the virtual scheduler.
+struct Attempt {
+    ops: Vec<EncOp>,
+    cursor: usize,
+    attempt: u32,
+    ctx: TxnCtx,
+    handle: TxnHandle,
+}
+
+/// The outcome of one fully replayed interleaving.
+#[derive(Debug, PartialEq, Eq)]
+struct RunOutcome {
+    committed: usize,
+    retries: u32,
+    decentralized_ok: bool,
+    global_ok: bool,
+    final_state: Vec<(String, String)>,
+}
+
+/// Single-threaded virtual scheduler: executes `schedule` (a merge of
+/// the transactions' op streams) step by step against `cc`, retrying
+/// aborted attempts serially after the trace, then audits the record.
+struct VirtualScheduler {
+    shared: EngineShared,
+    cc: Arc<dyn ConcurrencyControl>,
+    txns: Vec<Vec<EncOp>>,
+    active: Vec<Option<Attempt>>,
+    /// Attempts that reached their commit point and were told to wait.
+    pending: VecDeque<usize>,
+    /// Aborted logical transactions awaiting a serial retry.
+    retry: VecDeque<(usize, u32)>,
+    committed: usize,
+    retries: u32,
+}
+
+impl VirtualScheduler {
+    fn new(cc: Arc<dyn ConcurrencyControl>, txns: &[Vec<EncOp>], preload: &[&str]) -> Self {
+        let rec = oodb_model::Recorder::new();
+        let enc = Encyclopedia::create(
+            rec.clone(),
+            EncyclopediaConfig {
+                fanout: 8,
+                pool_frames: 1024,
+                ..EncyclopediaConfig::default()
+            },
+        );
+        let shared = EngineShared {
+            rec,
+            enc: Mutex::new(CompensatedEncyclopedia::new(enc)),
+            metrics: EngineMetrics::with_shards(cc.shards()),
+        };
+        let mut vs = VirtualScheduler {
+            shared,
+            cc,
+            txns: txns.to_vec(),
+            active: (0..txns.len()).map(|_| None).collect(),
+            pending: VecDeque::new(),
+            retry: VecDeque::new(),
+            committed: 0,
+            retries: 0,
+        };
+        if !preload.is_empty() {
+            let ops: Vec<EncOp> = preload.iter().map(|k| EncOp::Insert((*k).into())).collect();
+            let setup = vs.begin(u64::MAX, "Setup".into(), ops);
+            let done = vs.run_serially(setup);
+            assert!(done, "uncontended preload must commit");
+            vs.committed -= 1; // Setup is not a workload transaction
+        }
+        vs
+    }
+
+    fn begin(&mut self, job: u64, name: String, ops: Vec<EncOp>) -> Attempt {
+        let ctx = self.shared.rec.begin_txn(name);
+        let handle = TxnHandle {
+            job,
+            attempt: 0,
+            txn: oodb_core::ids::TxnIdx(ctx.txn_number()),
+            owner: OwnerId(u64::from(ctx.txn_number())),
+        };
+        Attempt {
+            ops,
+            cursor: 0,
+            attempt: 0,
+            ctx,
+            handle,
+        }
+    }
+
+    fn attempt_name(job: u64, attempt: u32) -> String {
+        if attempt == 0 {
+            format!("J{}", job + 1)
+        } else {
+            format!("J{}r{attempt}", job + 1)
+        }
+    }
+
+    /// Execute one scheduled step of logical transaction `t`. Steps of
+    /// an attempt that already aborted (its retry runs after the trace)
+    /// are skipped — the schedule stays fixed, the trace just has holes.
+    fn step(&mut self, t: usize) {
+        if self.active[t].is_none() && !self.txns[t].is_empty() {
+            // first step of t: begin its attempt 0
+            if !self.already_started(t) {
+                let a = self.begin(
+                    t as u64,
+                    Self::attempt_name(t as u64, 0),
+                    self.txns[t].clone(),
+                );
+                self.active[t] = Some(a);
+            }
+        }
+        let Some(mut a) = self.active[t].take() else {
+            return;
+        };
+        if a.cursor >= a.ops.len() {
+            self.active[t] = Some(a);
+            return;
+        }
+        if self.cc.is_doomed(&a.handle) {
+            self.abort_attempt(t, a);
+            return;
+        }
+        let op = a.ops[a.cursor].clone();
+        match self.cc.before_op(&self.shared, &a.handle, &op) {
+            OpGrant::Granted => {
+                let mut enc = self.shared.enc.lock();
+                apply_op(&mut enc, &mut a.ctx, &op, t + 1);
+                drop(enc);
+                a.cursor += 1;
+            }
+            OpGrant::AbortVictim => {
+                self.abort_attempt(t, a);
+                return;
+            }
+        }
+        if a.cursor == a.ops.len() {
+            // commit point: try once now; on Wait park it for later
+            match self.cc.try_finish(&self.shared, &a.handle) {
+                FinishOutcome::Committed => self.commit_attempt(a),
+                FinishOutcome::Wait => {
+                    self.pending.push_back(t);
+                    self.active[t] = Some(a);
+                }
+                FinishOutcome::Abort => self.abort_attempt(t, a),
+            }
+        } else {
+            self.active[t] = Some(a);
+        }
+        self.drain_pending(false);
+    }
+
+    /// A retry was queued or an attempt exists — `t` already started.
+    fn already_started(&self, t: usize) -> bool {
+        self.active[t].is_some() || self.retry.iter().any(|&(r, _)| r == t)
+    }
+
+    fn commit_attempt(&mut self, a: Attempt) {
+        self.shared.enc.lock().commit(a.ctx);
+        self.cc.after_commit(&self.shared, &a.handle);
+        self.committed += 1;
+    }
+
+    fn abort_attempt(&mut self, t: usize, a: Attempt) {
+        let next = a.attempt + 1;
+        {
+            let mut enc = self.shared.enc.lock();
+            let mut comp = self.shared.rec.begin_txn(format!(
+                "C(J{}a{})",
+                (t as u64).wrapping_add(1),
+                a.attempt
+            ));
+            enc.abort(a.ctx, &mut comp);
+        }
+        self.cc.after_abort(&self.shared, &a.handle);
+        self.retries += 1;
+        assert!(next <= 8, "txn {t} must not abort forever");
+        self.retry.push_back((t, next));
+    }
+
+    /// Retry pending commit-waiters in FIFO order; with `force`, break a
+    /// wait cycle deterministically (the pending attempt with the
+    /// largest transaction number aborts) whenever a full pass makes no
+    /// progress.
+    fn drain_pending(&mut self, force: bool) {
+        loop {
+            let mut progressed = false;
+            for _ in 0..self.pending.len() {
+                let Some(t) = self.pending.pop_front() else {
+                    break;
+                };
+                let Some(a) = self.active[t].take() else {
+                    continue;
+                };
+                match self.cc.try_finish(&self.shared, &a.handle) {
+                    FinishOutcome::Committed => {
+                        self.commit_attempt(a);
+                        progressed = true;
+                    }
+                    FinishOutcome::Abort => {
+                        self.abort_attempt(t, a);
+                        progressed = true;
+                    }
+                    FinishOutcome::Wait => {
+                        self.active[t] = Some(a);
+                        self.pending.push_back(t);
+                    }
+                }
+            }
+            if self.pending.is_empty() {
+                return;
+            }
+            if !progressed {
+                if !force {
+                    return;
+                }
+                // deterministic wait-cycle break: the youngest attempt
+                // (largest recorded transaction number) gives way
+                let (pos, _) = self
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &t)| {
+                        self.active[t].as_ref().map(|a| a.handle.txn.0).unwrap_or(0)
+                    })
+                    .expect("pending is non-empty");
+                let t = self.pending.remove(pos).unwrap();
+                if let Some(a) = self.active[t].take() {
+                    self.abort_attempt(t, a);
+                }
+            }
+        }
+    }
+
+    /// Run one attempt start-to-finish with nothing else live (the
+    /// serial retry path). Returns false if it aborted (the caller
+    /// requeues the follow-up attempt).
+    fn run_serially(&mut self, mut a: Attempt) -> bool {
+        let t = a.handle.job as usize;
+        while a.cursor < a.ops.len() {
+            if self.cc.is_doomed(&a.handle) {
+                self.abort_attempt(t, a);
+                return false;
+            }
+            let op = a.ops[a.cursor].clone();
+            match self.cc.before_op(&self.shared, &a.handle, &op) {
+                OpGrant::Granted => {
+                    let mut enc = self.shared.enc.lock();
+                    // wrapping: the Setup preload uses the reserved id u64::MAX
+                    apply_op(
+                        &mut enc,
+                        &mut a.ctx,
+                        &op,
+                        (a.handle.job as usize).wrapping_add(1),
+                    );
+                    drop(enc);
+                    a.cursor += 1;
+                }
+                OpGrant::AbortVictim => {
+                    self.abort_attempt(t, a);
+                    return false;
+                }
+            }
+        }
+        for _ in 0..64 {
+            match self.cc.try_finish(&self.shared, &a.handle) {
+                FinishOutcome::Committed => {
+                    self.commit_attempt(a);
+                    return true;
+                }
+                FinishOutcome::Abort => {
+                    self.abort_attempt(t, a);
+                    return false;
+                }
+                FinishOutcome::Wait => continue,
+            }
+        }
+        panic!("serial attempt with no live predecessors cannot wait forever");
+    }
+
+    fn run(mut self, schedule: &[usize]) -> RunOutcome {
+        for &t in schedule {
+            self.step(t);
+        }
+        self.drain_pending(true);
+        // serial retries: aborted transactions re-execute with nothing
+        // else live, so each retry commits (or is doomed once more by a
+        // cascade and retried again — bounded by the per-txn attempt cap)
+        while let Some((t, attempt)) = self.retry.pop_front() {
+            let mut a = self.begin(
+                t as u64,
+                Self::attempt_name(t as u64, attempt),
+                self.txns[t].clone(),
+            );
+            a.attempt = attempt;
+            a.handle.attempt = attempt;
+            self.run_serially(a);
+        }
+        let audit_out = audit(&self.shared.rec, self.cc.as_ref());
+        let final_state = {
+            let enc = self.shared.enc.lock();
+            let mut ctx = self.shared.rec.begin_txn("Dump");
+            let mut items: Vec<(String, String)> = enc
+                .read_seq(&mut ctx)
+                .into_iter()
+                .map(|(_, k, text)| (k, text))
+                .collect();
+            items.sort();
+            items
+        };
+        RunOutcome {
+            committed: self.committed,
+            retries: self.retries,
+            decentralized_ok: audit_out.report.oo_decentralized.is_ok(),
+            global_ok: audit_out.report.oo_global.is_ok(),
+            final_state,
+        }
+    }
+}
+
+/// Three keys guaranteed to land on three distinct shards of a 3-way
+/// partition (probed via the engine's own stable hash).
+fn three_cross_shard_keys() -> [String; 3] {
+    let mut found: [Option<String>; 3] = [None, None, None];
+    for i in 0.. {
+        let k = format!("k{i:06}");
+        let s = shard_of_key(&k, 3);
+        if found[s].is_none() {
+            found[s] = Some(k);
+            if found.iter().all(Option::is_some) {
+                break;
+            }
+        }
+    }
+    found.map(Option::unwrap)
+}
+
+fn conflicting_3txn_workload() -> (Vec<Vec<EncOp>>, Vec<String>) {
+    let [ka, kb, _] = three_cross_shard_keys();
+    let txns = vec![
+        vec![EncOp::Insert(ka.clone()), EncOp::Change(ka.clone())],
+        vec![EncOp::Change(ka.clone()), EncOp::Search(kb.clone())],
+        vec![EncOp::Change(kb.clone()), EncOp::Search(ka)],
+    ];
+    (txns, vec![kb])
+}
+
+fn conflicting_4txn_workload() -> (Vec<Vec<EncOp>>, Vec<String>) {
+    let [ka, kb, kc] = three_cross_shard_keys();
+    let txns = vec![
+        vec![EncOp::Change(ka.clone()), EncOp::Search(kb.clone())],
+        vec![EncOp::Change(kb.clone()), EncOp::Search(ka.clone())],
+        vec![EncOp::Insert(kc.clone()), EncOp::Search(kb.clone())],
+        vec![EncOp::Search(kc)],
+    ];
+    (txns, vec![ka, kb])
+}
+
+fn replay(
+    sharded: bool,
+    txns: &[Vec<EncOp>],
+    preload: &[String],
+    schedule: &[usize],
+) -> RunOutcome {
+    let cc: Arc<dyn ConcurrencyControl> = if sharded {
+        Arc::new(ShardedOptimisticCc::new(3))
+    } else {
+        Arc::new(OptimisticCc::new())
+    };
+    let preload_refs: Vec<&str> = preload.iter().map(String::as_str).collect();
+    VirtualScheduler::new(cc, txns, &preload_refs).run(schedule)
+}
+
+/// Every op-level interleaving of a conflicting 3-transaction workload:
+/// the merged audit passes and all transactions eventually commit, under
+/// both the sharded and the single-shard optimistic control.
+#[test]
+fn every_3txn_interleaving_audits_clean() {
+    let (txns, preload) = conflicting_3txn_workload();
+    let counts: Vec<usize> = txns.iter().map(Vec::len).collect();
+    let all = interleavings(&counts);
+    assert_eq!(all.len(), 90, "6!/(2!·2!·2!) interleavings");
+    for (i, schedule) in all.iter().enumerate() {
+        for sharded in [true, false] {
+            let out = replay(sharded, &txns, &preload, schedule);
+            assert_eq!(
+                out.committed,
+                txns.len(),
+                "interleaving {i} (sharded={sharded}): all txns commit"
+            );
+            assert!(
+                out.decentralized_ok && out.global_ok,
+                "interleaving {i} (sharded={sharded}): merged audit must pass"
+            );
+        }
+    }
+}
+
+/// Every op-level interleaving of a ≤4-transaction workload under the
+/// sharded optimistic control (630 merges), plus determinism spot
+/// checks: replaying the same interleaving twice gives bit-identical
+/// outcomes (commits, retries, verdicts, final state).
+#[test]
+fn every_4txn_interleaving_audits_clean_and_replays_deterministically() {
+    let (txns, preload) = conflicting_4txn_workload();
+    let counts: Vec<usize> = txns.iter().map(Vec::len).collect();
+    let all = interleavings(&counts);
+    assert_eq!(all.len(), 630, "7!/(2!·2!·2!·1!) interleavings");
+    for (i, schedule) in all.iter().enumerate() {
+        let out = replay(true, &txns, &preload, schedule);
+        assert_eq!(
+            out.committed,
+            txns.len(),
+            "interleaving {i}: all txns commit"
+        );
+        assert!(
+            out.decentralized_ok && out.global_ok,
+            "interleaving {i}: merged audit must pass"
+        );
+        if i % 37 == 0 {
+            let again = replay(true, &txns, &preload, schedule);
+            assert_eq!(out, again, "interleaving {i}: replay must be deterministic");
+        }
+    }
+}
+
+/// The blocking (pessimistic) strategies, exercised at arrival
+/// granularity: every permutation of the 4-transaction submission order
+/// through the real engine, sharded and unsharded — all commit, merged
+/// audit passes.
+#[test]
+fn every_submission_permutation_audits_clean_under_locking() {
+    let (txns, preload) = conflicting_4txn_workload();
+    let mut orders = Vec::new();
+    let mut idx: Vec<usize> = (0..txns.len()).collect();
+    permute(&mut idx, 0, &mut orders);
+    assert_eq!(orders.len(), 24);
+    for order in &orders {
+        for shards in [1usize, 3] {
+            let cfg = EngineConfig {
+                workers: 3,
+                queue_capacity: 8,
+                shards,
+                seed: 7,
+                ..EngineConfig::default()
+            };
+            let engine = Engine::start(cfg, CcKind::Pessimistic);
+            engine.preload(&preload);
+            for &t in order {
+                engine.submit_blocking(txns[t].clone()).unwrap();
+            }
+            let out = engine.shutdown();
+            assert_eq!(
+                out.metrics.committed as usize,
+                txns.len(),
+                "order {order:?}"
+            );
+            let audit_out = out.audit.expect("audit enabled");
+            assert!(
+                audit_out.report.oo_decentralized.is_ok() && audit_out.report.oo_global.is_ok(),
+                "order {order:?} shards={shards}: full-record audit must pass"
+            );
+        }
+    }
+}
+
+fn permute(idx: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k == idx.len() {
+        out.push(idx.clone());
+        return;
+    }
+    for i in k..idx.len() {
+        idx.swap(k, i);
+        permute(idx, k + 1, out);
+        idx.swap(k, i);
+    }
+}

@@ -1,0 +1,128 @@
+//! Regression pin for merged-audit semantics (the sharded certifier
+//! must stitch the per-shard commit decisions into one *committed
+//! projection* — not hand the full record to the checker).
+//!
+//! An optimistic run with a retry necessarily records actions of the
+//! aborted attempt and its compensation; those were never certified, so
+//! auditing them would either fail spuriously or (worse) mask a real
+//! violation inside the committed projection. The pessimistic protocols
+//! promise more — strict 2PL keeps even aborted attempts and their
+//! under-lock compensations oo-serializable — so their audit keeps the
+//! full record. A deterministic injected fault produces the retry in
+//! both runs, and the audited transaction names pin the scopes exactly.
+
+use oodb_engine::{AuditScope, Engine, EngineConfig, ShardedOptimisticCc, ShardedPessimisticCc};
+use oodb_sim::EncOp;
+use std::sync::Arc;
+
+fn cfg(shards: usize) -> EngineConfig {
+    EngineConfig {
+        workers: 2,
+        queue_capacity: 8,
+        shards,
+        seed: 17,
+        ..EngineConfig::default()
+    }
+}
+
+fn workload() -> (Vec<String>, Vec<Vec<EncOp>>) {
+    let preload = vec!["hot1".to_string(), "hot2".to_string()];
+    let txns = vec![
+        vec![EncOp::Change("hot1".into()), EncOp::Change("hot2".into())],
+        vec![EncOp::Search("hot1".into()), EncOp::Insert("mine2".into())],
+        vec![EncOp::Search("hot2".into()), EncOp::Insert("mine3".into())],
+    ];
+    (preload, txns)
+}
+
+/// Sharded optimistic: the audit covers exactly the merged committed
+/// set — one committed attempt per job plus the preload — and never the
+/// aborted attempt or its compensation, even though both are in the
+/// record.
+#[test]
+fn sharded_optimistic_audits_only_the_merged_committed_projection() {
+    let (preload, txns) = workload();
+    let cc = Arc::new(ShardedOptimisticCc::new(2));
+    cc.inject_fault_after(0, 0, 1); // J1's first attempt dies, J1r1 commits
+    let engine = Engine::start_with(cfg(2), cc.clone());
+    engine.preload(&preload);
+    for ops in txns {
+        engine.submit_blocking(ops).unwrap();
+    }
+    let out = engine.shutdown();
+    assert_eq!(out.metrics.committed, 3);
+    assert!(out.metrics.retries >= 1, "the injected fault fired");
+
+    let audit = out.audit.expect("audit enabled");
+    assert_eq!(audit.scope, AuditScope::CommittedOnly);
+    assert!(audit.report.oo_decentralized.is_ok());
+    assert!(audit.report.oo_global.is_ok());
+
+    let names = audit.audited_txn_names();
+    assert!(
+        names.contains("Setup"),
+        "the preload committed through the CC"
+    );
+    assert!(names.contains("J1r1"), "the retry is the committed attempt");
+    assert!(
+        !names.contains("J1"),
+        "the aborted first attempt is not audited"
+    );
+    assert!(
+        !names.iter().any(|n| n.starts_with("C(")),
+        "compensations are never part of the committed projection: {names:?}"
+    );
+    // exactly the merged per-shard commit decisions, nothing else
+    assert_eq!(audit.audited_txns().len(), cc.committed_count());
+    assert_eq!(cc.committed_count(), 4, "3 jobs + Setup");
+
+    // ...while the full record does contain the uncertified transactions
+    let all_names: std::collections::BTreeSet<String> = (0..audit.ts.top_level().len())
+        .map(|t| {
+            audit
+                .ts
+                .action(audit.ts.top_level()[t])
+                .descriptor
+                .method
+                .clone()
+        })
+        .collect();
+    assert!(all_names.contains("J1"), "aborted attempt is in the record");
+    assert!(
+        all_names.iter().any(|n| n.starts_with("C(J1a0)")),
+        "its compensation is in the record: {all_names:?}"
+    );
+}
+
+/// Sharded strict 2PL: the audit keeps the full record — aborted
+/// attempt and compensation included — and it still passes, because
+/// compensation ran under the held locks.
+#[test]
+fn sharded_pessimistic_audits_the_full_record() {
+    let (preload, txns) = workload();
+    let cc = Arc::new(ShardedPessimisticCc::semantic(2));
+    cc.inject_fault_after(0, 0, 1);
+    let engine = Engine::start_with(cfg(2), cc.clone());
+    engine.preload(&preload);
+    for ops in txns {
+        engine.submit_blocking(ops).unwrap();
+    }
+    let out = engine.shutdown();
+    assert_eq!(out.metrics.committed, 3);
+    assert!(out.metrics.retries >= 1, "the injected fault fired");
+
+    let audit = out.audit.expect("audit enabled");
+    assert_eq!(audit.scope, AuditScope::FullRecord);
+    assert!(audit.report.oo_decentralized.is_ok());
+    assert!(audit.report.oo_global.is_ok());
+
+    let names = audit.audited_txn_names();
+    assert!(names.contains("J1"), "aborted attempt IS audited");
+    assert!(names.contains("J1r1"), "so is the committed retry");
+    assert!(
+        names.iter().any(|n| n.starts_with("C(J1a0)")),
+        "and the compensation: {names:?}"
+    );
+    // full record: every top-level transaction is in the audited history
+    assert_eq!(audit.audited_txns().len(), audit.ts.top_level().len());
+}

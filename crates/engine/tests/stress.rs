@@ -27,6 +27,13 @@ fn engine_cfg(seed: u64) -> EngineConfig {
     }
 }
 
+fn sharded_cfg(seed: u64, shards: usize) -> EngineConfig {
+    EngineConfig {
+        shards,
+        ..engine_cfg(seed)
+    }
+}
+
 fn assert_sound(out: &EngineOutput, label: &str) {
     let audit = out.audit.as_ref().expect("audit enabled");
     assert!(
@@ -76,6 +83,55 @@ fn stress_both_strategies_mixed_contention() {
         total += txns;
     }
     assert!(total >= 200, "stress must cover at least 200 transactions");
+}
+
+/// The sharded variants under the same mixed-contention stress: every
+/// transaction commits, the merged audit passes, and the audit scope
+/// matches the protocol (sharded optimistic audits only the stitched
+/// committed projection; sharded strict 2PL keeps the full record
+/// auditable).
+#[test]
+fn stress_sharded_strategies_mixed_contention() {
+    let cases = [
+        (CcKind::Pessimistic, 4, 96, 96, 21u64), // low contention
+        (CcKind::Pessimistic, 4, 48, 8, 22),     // hot keys: cross-shard deadlocks
+        (CcKind::Optimistic, 4, 36, 96, 23),     // low contention
+        (CcKind::Optimistic, 4, 24, 12, 24),     // hot keys: validation aborts
+        (CcKind::Optimistic, 8, 48, 64, 25),     // wide sharding
+    ];
+    for (kind, shards, txns, key_space, seed) in cases {
+        let w = workload(txns, key_space, seed);
+        let out = oodb_engine::run_workload(&sharded_cfg(seed, shards), kind, &w);
+        let label = format!(
+            "{} shards={shards} txns={txns} keys={key_space}",
+            out.cc_name
+        );
+        assert!(out.cc_name.starts_with("sharded-"), "{label}");
+        assert_eq!(
+            out.metrics.committed as usize, txns,
+            "{label}: every transaction must eventually commit \
+             (aborted {} retries {})",
+            out.metrics.aborted, out.metrics.retries
+        );
+        assert_eq!(out.metrics.aborted, 0, "{label}");
+        assert_sound(&out, &label);
+        let expected_scope = match kind {
+            CcKind::Optimistic => AuditScope::CommittedOnly,
+            _ => AuditScope::FullRecord,
+        };
+        assert_eq!(out.audit.as_ref().unwrap().scope, expected_scope, "{label}");
+        // per-shard lanes saw the routed traffic
+        let m = &out.metrics;
+        assert_eq!(m.shards.len(), shards, "{label}");
+        assert!(
+            m.shards.iter().map(|l| l.ops).sum::<u64>() > 0,
+            "{label}: shard lanes must record routed operations"
+        );
+        assert!(
+            m.shards.iter().filter(|l| l.ops > 0).count() > 1,
+            "{label}: keys must actually spread across shards"
+        );
+    }
 }
 
 /// The metrics snapshot carries the operational signals the acceptance
