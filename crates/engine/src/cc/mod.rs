@@ -22,6 +22,7 @@ pub use pessimistic::PessimisticCc;
 pub use sharded::{shard_of_key, Shardable, ShardedCc, ShardedOptimisticCc, ShardedPessimisticCc};
 
 use crate::metrics::EngineMetrics;
+use crate::trace::Tracer;
 use oodb_btree::CompensatedEncyclopedia;
 use oodb_core::history::History;
 use oodb_core::ids::TxnIdx;
@@ -40,6 +41,8 @@ pub struct EngineShared {
     pub enc: Mutex<CompensatedEncyclopedia>,
     /// Atomic counters and latency histograms.
     pub metrics: EngineMetrics,
+    /// Structured lifecycle tracing (the disabled tracer by default).
+    pub trace: Tracer,
 }
 
 /// Identity of one transaction *attempt* (each retry gets a fresh

@@ -3,6 +3,7 @@
 //! dependencies.
 
 use super::{ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, ShardRoute, TxnHandle};
+use crate::trace::{CertOutcome, TraceEventKind};
 use oodb_core::certifier::{Certifier, CertifierMode, CommitOutcome, WaitPolicy};
 use oodb_core::history::History;
 use oodb_core::ids::TxnIdx;
@@ -135,7 +136,19 @@ impl ConcurrencyControl for OptimisticCc {
                 }
             }
         }
-        match cert.try_commit(&ts, &history, txn.txn) {
+        // certification scope: the committed set plus the candidate
+        let component = cert.committed().len() + 1;
+        let outcome = cert.try_commit(&ts, &history, txn.txn);
+        let verdict = match &outcome {
+            CommitOutcome::Committed => CertOutcome::Commit,
+            CommitOutcome::MustWait { .. } => CertOutcome::Wait,
+            CommitOutcome::MustAbort(_) => CertOutcome::Abort,
+        };
+        shared.trace.emit_txn(txn, || TraceEventKind::CertAttempt {
+            component,
+            outcome: verdict,
+        });
+        match outcome {
             CommitOutcome::Committed => {
                 self.live.lock().remove(&txn.txn);
                 FinishOutcome::Committed
@@ -147,6 +160,11 @@ impl ConcurrencyControl for OptimisticCc {
                 let cascade = Self::live_dependents(&cert, &ts, &history, txn.txn);
                 drop(cert);
                 self.live.lock().remove(&txn.txn);
+                for d in &cascade {
+                    shared
+                        .trace
+                        .emit_txn(txn, || TraceEventKind::CascadeDoom { victim: d.0 as u64 });
+                }
                 self.doomed.lock().extend(cascade);
                 FinishOutcome::Abort
             }
@@ -169,6 +187,11 @@ impl ConcurrencyControl for OptimisticCc {
         };
         drop(cert);
         self.live.lock().remove(&txn.txn);
+        for d in &cascade {
+            shared
+                .trace
+                .emit_txn(txn, || TraceEventKind::CascadeDoom { victim: d.0 as u64 });
+        }
         let mut doomed = self.doomed.lock();
         doomed.remove(&txn.txn); // this attempt is finished for good
         doomed.extend(cascade);

@@ -40,10 +40,12 @@
 //! into one committed projection via
 //! [`committed_projection`](ConcurrencyControl::committed_projection).
 
+use super::pessimistic::{emit_conflicts, is_writer_method};
 use super::{
     ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, OptimisticCc, PessimisticCc,
     ShardRoute, TxnHandle,
 };
+use crate::trace::{CertOutcome, TraceEventKind};
 use oodb_core::certifier::{restrict_history, CertifierMode, CertifierStats};
 use oodb_core::commutativity::ActionDescriptor;
 use oodb_core::history::History;
@@ -246,14 +248,18 @@ impl ShardedPessimisticCc {
     /// on — they are live (strict 2PL holders never park forever; any
     /// holder blocking *them* is younger and gets wounded in turn), so
     /// the wait resolves.
-    fn wound(&self, owner: OwnerId, job: u64, holders: &[OwnerId]) {
+    fn wound(&self, shared: &EngineShared, txn: &TxnHandle, holders: &[OwnerId]) {
         let jobs = self.jobs.lock();
         let mut doomed = self.doomed.lock();
         let mut wounded = self.wounded_by.lock();
         for &h in holders {
             if let Some(&hjob) = jobs.get(&h) {
-                if hjob > job && doomed.insert(h) {
-                    wounded.insert(hjob, owner);
+                if hjob > txn.job && doomed.insert(h) {
+                    wounded.insert(hjob, txn.owner);
+                    shared.trace.emit_txn(txn, || TraceEventKind::WoundIssued {
+                        victim_job: hjob,
+                        victim: h.0,
+                    });
                 }
             }
         }
@@ -268,10 +274,10 @@ impl ShardedPessimisticCc {
         &self,
         shared: &EngineShared,
         s: usize,
-        owner: OwnerId,
-        job: u64,
+        txn: &TxnHandle,
         descriptor: &ActionDescriptor,
     ) -> bool {
+        let owner = txn.owner;
         let shard = &self.shards[s];
         let mut mgr = shard.mgr.lock();
         let mut parked = false;
@@ -281,6 +287,16 @@ impl ShardedPessimisticCc {
                 if parked {
                     self.blocked.lock().remove(&owner);
                 }
+                shared
+                    .trace
+                    .emit_txn(txn, || TraceEventKind::WoundReceived {
+                        by: self
+                            .wounded_by
+                            .lock()
+                            .get(&txn.job)
+                            .map(|o| o.0)
+                            .unwrap_or(0),
+                    });
                 return false;
             }
             match mgr.acquire(owner, &[], ENC_RESOURCE, descriptor) {
@@ -289,6 +305,21 @@ impl ShardedPessimisticCc {
                         self.blocked.lock().remove(&owner);
                     }
                     shared.metrics.shard_op(s);
+                    // page-conflicting but semantically commuting
+                    // coexisters: inheritance stopped (Definition 11)
+                    if shared.trace.enabled() && !self.route_all {
+                        let coexisting: Vec<OwnerId> = mgr
+                            .grants_on(ENC_RESOURCE)
+                            .iter()
+                            .filter(|(o, d)| {
+                                *o != owner
+                                    && (is_writer_method(&descriptor.method)
+                                        || is_writer_method(&d.method))
+                            })
+                            .map(|(o, _)| *o)
+                            .collect();
+                        emit_conflicts(shared, txn, &mgr, descriptor, &coexisting, false);
+                    }
                     return true;
                 }
                 LockOutcome::Blocked { holders } => {
@@ -296,8 +327,11 @@ impl ShardedPessimisticCc {
                     if !parked {
                         parked = true;
                         self.blocked.lock().insert(owner);
+                        // the blocking holders do not commute with us:
+                        // inherited dependencies (Definition 11)
+                        emit_conflicts(shared, txn, &mgr, descriptor, &holders, true);
                     }
-                    self.wound(owner, job, &holders);
+                    self.wound(shared, txn, &holders);
                     shard.released.wait_for(&mut mgr, Duration::from_millis(1));
                 }
             }
@@ -365,7 +399,7 @@ impl ConcurrencyControl for ShardedPessimisticCc {
             .extend(targets.iter().copied());
         let descriptor = (self.descriptor)(op);
         for s in targets {
-            if !self.acquire_on(shared, s, txn.owner, txn.job, &descriptor) {
+            if !self.acquire_on(shared, s, txn, &descriptor) {
                 return OpGrant::AbortVictim;
             }
         }
@@ -769,12 +803,20 @@ impl ShardedOptimisticCc {
             None
         };
 
+        let component = plan.component.len();
+        let cert_event = |outcome: CertOutcome| {
+            shared
+                .trace
+                .emit_txn(txn, || TraceEventKind::CertAttempt { component, outcome });
+        };
+
         // commit dependency: a live predecessor may still compensate
         // state `me` built on — wait for it to finalize
         let (preds, deps) = Self::incident_edges(ts, history, &plan.wait_scope, me);
         if preds.iter().any(|p| plan.live_sharers.contains(p)) {
             drop(held);
             self.meta.lock().stats.waits += 1;
+            cert_event(CertOutcome::Wait);
             return Ok(FinishOutcome::Wait);
         }
 
@@ -786,6 +828,8 @@ impl ShardedOptimisticCc {
         };
         if !hold && Self::epochs_stale(&guard, &plan) {
             guard.revalidations += 1;
+            drop(guard);
+            cert_event(CertOutcome::Stale);
             return Err(());
         }
         if ok {
@@ -799,6 +843,8 @@ impl ShardedOptimisticCc {
             if plan.my_shards.len() > 1 {
                 shared.metrics.cross_shard_inc();
             }
+            drop(guard);
+            cert_event(CertOutcome::Commit);
             Ok(FinishOutcome::Committed)
         } else {
             guard.aborted.insert(me);
@@ -806,10 +852,19 @@ impl ShardedOptimisticCc {
             guard.touched.remove(&me);
             guard.stats.aborts += 1;
             // doom everyone who read our soon-compensated effects
+            let mut doomed_now = Vec::new();
             for d in deps {
                 if guard.live.contains(&d) {
                     guard.doomed.insert(d);
+                    doomed_now.push(d);
                 }
+            }
+            drop(guard);
+            cert_event(CertOutcome::Abort);
+            for d in doomed_now {
+                shared
+                    .trace
+                    .emit_txn(txn, || TraceEventKind::CascadeDoom { victim: d.0 as u64 });
             }
             Ok(FinishOutcome::Abort)
         }
@@ -884,10 +939,18 @@ impl ConcurrencyControl for ShardedOptimisticCc {
             let (ts, history) = shared.rec.snapshot();
             let (_, deps) = Self::incident_edges(&ts, &history, &scope, me);
             let mut meta = self.meta.lock();
+            let mut doomed_now = Vec::new();
             for d in deps {
                 if meta.live.contains(&d) {
                     meta.doomed.insert(d);
+                    doomed_now.push(d);
                 }
+            }
+            drop(meta);
+            for d in doomed_now {
+                shared
+                    .trace
+                    .emit_txn(txn, || TraceEventKind::CascadeDoom { victim: d.0 as u64 });
             }
         }
     }

@@ -33,6 +33,32 @@ impl CcKind {
     }
 }
 
+/// Where trace events go (see [`crate::trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No tracing: the hot path pays one branch per would-be event.
+    #[default]
+    Off,
+    /// Per-worker lock-free bounded ring buffers, drained at shutdown
+    /// into [`EngineOutput::trace`](crate::EngineOutput::trace). When a
+    /// lane fills, further events from that lane are dropped (and
+    /// counted) rather than blocking the worker.
+    Ring {
+        /// Capacity of each worker's lane, in events.
+        capacity_per_lane: usize,
+    },
+}
+
+impl TraceMode {
+    /// Ring-buffer tracing with a default per-lane capacity generous
+    /// enough for the test workloads (64k events per worker).
+    pub fn ring() -> Self {
+        TraceMode::Ring {
+            capacity_per_lane: 65_536,
+        }
+    }
+}
+
 /// Tunables for an [`Engine`](crate::Engine) instance.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -72,6 +98,10 @@ pub struct EngineConfig {
     /// audit the complete record (including aborted attempts and their
     /// compensations), optimistic runs audit the committed projection.
     pub audit: bool,
+    /// Structured lifecycle tracing (see [`crate::trace`]). Off by
+    /// default; [`TraceMode::ring`] captures events into per-worker
+    /// ring buffers drained at shutdown.
+    pub trace: TraceMode,
 }
 
 impl Default for EngineConfig {
@@ -87,6 +117,7 @@ impl Default for EngineConfig {
             fanout: 8,
             shards: 1,
             audit: true,
+            trace: TraceMode::Off,
         }
     }
 }
@@ -102,6 +133,10 @@ mod tests {
         assert!(c.queue_capacity >= c.workers);
         assert!(c.base_backoff <= c.max_backoff);
         assert_eq!(c.shards, 1, "sharding is opt-in");
+        assert_eq!(c.trace, TraceMode::Off, "tracing is opt-in");
+        assert!(
+            matches!(TraceMode::ring(), TraceMode::Ring { capacity_per_lane } if capacity_per_lane > 0)
+        );
         assert_eq!(CcKind::default(), CcKind::Pessimistic);
         assert_eq!(CcKind::Optimistic.label(), "optimistic");
     }

@@ -41,6 +41,7 @@ pub mod cc;
 pub mod config;
 pub mod metrics;
 pub mod queue;
+pub mod trace;
 pub mod worker;
 
 pub use audit::{audit, AuditOutput, AuditScope};
@@ -49,9 +50,13 @@ pub use cc::{
     PessimisticCc, ShardRoute, Shardable, ShardedCc, ShardedOptimisticCc, ShardedPessimisticCc,
     TxnHandle,
 };
-pub use config::{CcKind, EngineConfig};
+pub use config::{CcKind, EngineConfig, TraceMode};
 pub use metrics::{EngineMetrics, Histogram, MetricsSnapshot, ShardLane, ShardLaneSnapshot};
 pub use queue::{Job, JobQueue};
+pub use trace::{
+    cross_check, CrossCheck, DepGraph, NullSink, RingSink, TraceEvent, TraceEventKind, TraceLog,
+    TraceSink, Tracer,
+};
 pub use worker::retry_delay;
 
 use oodb_btree::{CompensatedEncyclopedia, Encyclopedia, EncyclopediaConfig};
@@ -80,6 +85,10 @@ pub struct EngineOutput {
     /// in key order — the observable final object state (read after the
     /// audit snapshot, so the read itself is never audited).
     pub final_state: Vec<(String, String)>,
+    /// The captured trace, when [`EngineConfig::trace`] enabled one
+    /// (drained after the workers joined; export with
+    /// [`trace::export::to_jsonl`] / [`trace::export::to_chrome_trace`]).
+    pub trace: Option<TraceLog>,
     /// The concurrency-control strategy that ran.
     pub cc_name: &'static str,
 }
@@ -117,12 +126,17 @@ impl Engine {
                 ..EncyclopediaConfig::default()
             },
         );
+        let metrics = EngineMetrics::with_shards(cc.shards());
+        let queue = Arc::new(JobQueue::with_depth_gauge(
+            cfg.queue_capacity,
+            metrics.queue_depth.clone(),
+        ));
         let shared = Arc::new(EngineShared {
             rec,
             enc: Mutex::new(CompensatedEncyclopedia::new(enc)),
-            metrics: EngineMetrics::with_shards(cc.shards()),
+            metrics,
+            trace: Tracer::from_mode(&cfg.trace, cfg.workers.max(1)),
         });
-        let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
                 let shared = shared.clone();
@@ -131,7 +145,7 @@ impl Engine {
                 let cfg = cfg.clone();
                 std::thread::Builder::new()
                     .name(format!("oodb-worker-{i}"))
-                    .spawn(move || worker::run_worker(&shared, &queue, cc.as_ref(), &cfg))
+                    .spawn(move || worker::run_worker(i as u32, &shared, &queue, cc.as_ref(), &cfg))
                     .expect("spawn engine worker")
             })
             .collect();
@@ -165,11 +179,17 @@ impl Engine {
     pub fn submit(&self, ops: Vec<EncOp>) -> Result<u64, Vec<EncOp>> {
         match self.queue.try_push(ops, self.cfg.txn_deadline) {
             Ok(id) => {
-                self.note_admitted();
+                self.note_admitted(id);
                 Ok(id)
             }
             Err(ops) => {
                 self.shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                let depth = self.queue.gauge();
+                self.shared
+                    .trace
+                    .emit(u64::MAX, 0, trace::TXN_NONE, || TraceEventKind::JobShed {
+                        depth,
+                    });
                 Err(ops)
             }
         }
@@ -179,21 +199,24 @@ impl Engine {
     /// `Err` only if the engine is shutting down.
     pub fn submit_blocking(&self, ops: Vec<EncOp>) -> Result<u64, Vec<EncOp>> {
         let r = self.queue.push_blocking(ops, self.cfg.txn_deadline);
-        if r.is_ok() {
-            self.note_admitted();
+        if let Ok(id) = r {
+            self.note_admitted(id);
         }
         r
     }
 
-    fn note_admitted(&self) {
+    fn note_admitted(&self, id: u64) {
         self.shared
             .metrics
             .submitted
             .fetch_add(1, Ordering::Relaxed);
+        // queue depth is published by the queue itself on every change
+        let depth = self.queue.gauge();
         self.shared
-            .metrics
-            .queue_depth
-            .store(self.queue.depth(), Ordering::Relaxed);
+            .trace
+            .emit(id, 0, trace::TXN_NONE, || TraceEventKind::JobAdmitted {
+                depth,
+            });
     }
 
     /// Current counters and latency percentiles.
@@ -213,6 +236,8 @@ impl Engine {
         for h in self.workers {
             h.join().expect("engine worker must not panic");
         }
+        // drain the trace after the pool joined: no recorder is writing
+        let trace = self.shared.trace.drain();
         let metrics = self.shared.metrics.snapshot();
         let audit = self
             .cfg
@@ -235,6 +260,7 @@ impl Engine {
             metrics,
             audit,
             final_state,
+            trace,
             cc_name: self.cc.name(),
         }
     }

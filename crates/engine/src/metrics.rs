@@ -1,7 +1,9 @@
 //! Lock-free engine metrics: atomic counters plus fixed-bucket latency
 //! histograms, snapshotted on demand.
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const BUCKETS: usize = 64;
@@ -43,9 +45,18 @@ impl Histogram {
         self.len() == 0
     }
 
+    /// The geometric midpoint of bucket `i`, i.e. of `[2^i, 2^(i+1))`.
+    fn bucket_mid(i: usize) -> Duration {
+        let lo = 1u64 << i;
+        Duration::from_nanos(lo + lo / 2)
+    }
+
     /// The approximate `q`-quantile (`0.0 ..= 1.0`) as a duration: the
     /// geometric midpoint of the bucket containing that rank. Returns
-    /// zero when empty.
+    /// zero when empty. If a concurrent `record` leaves the rank
+    /// transiently unreachable (count incremented after its bucket was
+    /// scanned), the last non-empty bucket's midpoint is returned — a
+    /// real latency from the distribution, never a sentinel.
     pub fn quantile(&self, q: f64) -> Duration {
         let total = self.len();
         if total == 0 {
@@ -53,16 +64,39 @@ impl Histogram {
         }
         let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
+        let mut last_nonempty = None;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                last_nonempty = Some(i);
+            }
+            seen += c;
             if seen >= rank {
-                // geometric midpoint of [2^i, 2^(i+1))
-                let lo = 1u64 << i;
-                let mid = lo + lo / 2;
-                return Duration::from_nanos(mid);
+                return Self::bucket_mid(i);
             }
         }
-        Duration::from_nanos(u64::MAX)
+        last_nonempty
+            .map(Self::bucket_mid)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Fold another histogram's samples into this one (per-bucket adds),
+    /// so per-shard or per-run lanes can be aggregated for reporting.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c > 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A frozen copy of every bucket count (`counts[i]` = samples in
+    /// `[2^i, 2^(i+1))` ns).
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 }
 
@@ -114,8 +148,10 @@ pub struct EngineMetrics {
     pub shed: AtomicU64,
     /// Jobs dropped because their deadline passed before commit.
     pub deadline_expired: AtomicU64,
-    /// Current admission-queue depth (gauge).
-    pub queue_depth: AtomicUsize,
+    /// Current admission-queue depth (gauge). Shared with the
+    /// [`JobQueue`](crate::JobQueue), which keeps it current on every
+    /// push, pop, and shed — not just when a worker happens to pop.
+    pub queue_depth: Arc<AtomicUsize>,
     /// Time spent acquiring operation grants (lock waits under
     /// pessimistic control; certification waits show up in `e2e`).
     pub lock_wait: Histogram,
@@ -144,7 +180,7 @@ impl EngineMetrics {
             retries: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
-            queue_depth: AtomicUsize::new(0),
+            queue_depth: Arc::new(AtomicUsize::new(0)),
             lock_wait: Histogram::default(),
             e2e: Histogram::default(),
         }
@@ -250,6 +286,41 @@ pub struct MetricsSnapshot {
     pub e2e_p99: Duration,
 }
 
+impl MetricsSnapshot {
+    /// A machine-readable JSON object (hand-rolled; no serde in the
+    /// offline build). Durations are nanoseconds; key order is stable.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(s, "\"elapsed_ns\":{},", self.elapsed.as_nanos());
+        let _ = write!(s, "\"submitted\":{},", self.submitted);
+        let _ = write!(s, "\"committed\":{},", self.committed);
+        let _ = write!(s, "\"aborted\":{},", self.aborted);
+        let _ = write!(s, "\"retries\":{},", self.retries);
+        let _ = write!(s, "\"shed\":{},", self.shed);
+        let _ = write!(s, "\"deadline_expired\":{},", self.deadline_expired);
+        let _ = write!(s, "\"queue_depth\":{},", self.queue_depth);
+        let _ = write!(s, "\"throughput_per_sec\":{:.3},", self.throughput_per_sec);
+        let _ = write!(s, "\"lock_wait_p50_ns\":{},", self.lock_wait_p50.as_nanos());
+        let _ = write!(s, "\"lock_wait_p99_ns\":{},", self.lock_wait_p99.as_nanos());
+        let _ = write!(s, "\"e2e_p50_ns\":{},", self.e2e_p50.as_nanos());
+        let _ = write!(s, "\"e2e_p99_ns\":{},", self.e2e_p99.as_nanos());
+        let _ = write!(s, "\"cross_shard\":{},", self.cross_shard);
+        s.push_str("\"shards\":[");
+        for (i, lane) in self.shards.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"ops\":{},\"blocked\":{},\"commits\":{}}}",
+                lane.ops, lane.blocked, lane.commits
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -303,6 +374,70 @@ mod tests {
         let h = Histogram::default();
         assert!(h.is_empty());
         assert_eq!(h.quantile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantile_never_returns_the_overflow_sentinel() {
+        // Force the fall-through: count says more samples than the
+        // buckets hold (the transient state a racing `record` leaves).
+        let h = Histogram::default();
+        h.record(Duration::from_micros(100));
+        h.count.fetch_add(5, Ordering::Relaxed);
+        let q = h.quantile(1.0);
+        assert!(
+            q < Duration::from_secs(1),
+            "fall-through must return a real bucket midpoint, got {q:?}"
+        );
+        assert_eq!(q, h.quantile(0.01), "only one bucket is populated");
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(10));
+        b.record(Duration::from_millis(10));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        let counts = a.bucket_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+        // the 10µs bucket now holds two samples
+        assert!(counts.contains(&2), "merged bucket counts: {counts:?}");
+        assert!(a.quantile(0.99) >= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let m = EngineMetrics::with_shards(2);
+        m.committed.fetch_add(3, Ordering::Relaxed);
+        m.shard_op(0);
+        m.e2e.record(Duration::from_millis(1));
+        let json = m.snapshot().to_json();
+        assert!(
+            crate::trace::export::validate_json(&json),
+            "bad json: {json}"
+        );
+        for key in [
+            "\"elapsed_ns\":",
+            "\"submitted\":",
+            "\"committed\":3",
+            "\"aborted\":",
+            "\"retries\":",
+            "\"shed\":",
+            "\"deadline_expired\":",
+            "\"queue_depth\":",
+            "\"throughput_per_sec\":",
+            "\"lock_wait_p50_ns\":",
+            "\"lock_wait_p99_ns\":",
+            "\"e2e_p50_ns\":",
+            "\"e2e_p99_ns\":",
+            "\"cross_shard\":",
+            "\"shards\":[",
+            "\"ops\":1",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

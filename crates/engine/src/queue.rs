@@ -4,7 +4,8 @@
 use oodb_sim::EncOp;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One unit of admitted work: a logical transaction to execute.
@@ -41,11 +42,23 @@ pub struct JobQueue {
     not_empty: Condvar,
     not_full: Condvar,
     next_id: AtomicU64,
+    /// Live depth gauge, refreshed on every push, pop, and shed (a
+    /// gauge only written on pop goes stale the moment the queue fills).
+    /// Shareable with [`EngineMetrics`](crate::EngineMetrics) via
+    /// [`with_depth_gauge`](JobQueue::with_depth_gauge).
+    depth_gauge: Arc<AtomicUsize>,
 }
 
 impl JobQueue {
     /// An empty queue holding at most `capacity` pending jobs.
     pub fn new(capacity: usize) -> Self {
+        Self::with_depth_gauge(capacity, Arc::new(AtomicUsize::new(0)))
+    }
+
+    /// An empty queue publishing its depth through `gauge` — pass the
+    /// engine's `metrics.queue_depth` so the metrics gauge tracks every
+    /// depth change, not just worker pops.
+    pub fn with_depth_gauge(capacity: usize, gauge: Arc<AtomicUsize>) -> Self {
         JobQueue {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -55,7 +68,14 @@ impl JobQueue {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             next_id: AtomicU64::new(0),
+            depth_gauge: gauge,
         }
+    }
+
+    /// Last published queue depth (lock-free; see the `depth_gauge`
+    /// field for freshness guarantees).
+    pub fn gauge(&self) -> usize {
+        self.depth_gauge.load(Ordering::Relaxed)
     }
 
     fn make_job(&self, ops: Vec<EncOp>, deadline: Option<std::time::Duration>) -> Job {
@@ -77,11 +97,15 @@ impl JobQueue {
     ) -> Result<u64, Vec<EncOp>> {
         let mut st = self.state.lock();
         if st.closed || st.jobs.len() >= self.capacity {
+            // publish the depth the shed observed (a full queue must
+            // read as full, not as whatever the last pop saw)
+            self.depth_gauge.store(st.jobs.len(), Ordering::Relaxed);
             return Err(ops);
         }
         let job = self.make_job(ops, deadline);
         let id = job.id;
         st.jobs.push_back(job);
+        self.depth_gauge.store(st.jobs.len(), Ordering::Relaxed);
         drop(st);
         self.not_empty.notify_one();
         Ok(id)
@@ -105,6 +129,7 @@ impl JobQueue {
         let job = self.make_job(ops, deadline);
         let id = job.id;
         st.jobs.push_back(job);
+        self.depth_gauge.store(st.jobs.len(), Ordering::Relaxed);
         drop(st);
         self.not_empty.notify_one();
         Ok(id)
@@ -116,6 +141,7 @@ impl JobQueue {
         let mut st = self.state.lock();
         loop {
             if let Some(job) = st.jobs.pop_front() {
+                self.depth_gauge.store(st.jobs.len(), Ordering::Relaxed);
                 drop(st);
                 self.not_full.notify_one();
                 return Some(job);
@@ -177,6 +203,29 @@ mod tests {
         let a = q.try_push(ops(), None).unwrap();
         let b = q.try_push(ops(), None).unwrap();
         assert!(b > a);
+    }
+
+    #[test]
+    fn depth_gauge_tracks_push_pop_and_shed() {
+        let gauge = Arc::new(AtomicUsize::new(0));
+        let q = JobQueue::with_depth_gauge(2, gauge.clone());
+        assert_eq!(q.gauge(), 0);
+        q.try_push(ops(), None).unwrap();
+        assert_eq!(gauge.load(Ordering::Relaxed), 1, "push publishes depth");
+        q.try_push(ops(), None).unwrap();
+        assert_eq!(gauge.load(Ordering::Relaxed), 2);
+        q.pop();
+        assert_eq!(gauge.load(Ordering::Relaxed), 1, "pop publishes depth");
+        // regression: fill the queue again, then shed — the gauge must
+        // read the full depth, not whatever the last pop saw
+        q.try_push(ops(), None).unwrap();
+        gauge.store(0, Ordering::Relaxed); // simulate a stale reading
+        assert!(q.try_push(ops(), None).is_err(), "queue is full");
+        assert_eq!(
+            gauge.load(Ordering::Relaxed),
+            2,
+            "a shed refreshes the gauge to the observed full depth"
+        );
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Typed transaction-lifecycle events.
+//!
+//! Every event carries the full identity stamp `(job, attempt, txn,
+//! worker, seq)` plus a monotonic engine-relative timestamp. The `seq`
+//! numbers come from one global counter and — crucially — **operation
+//! events claim their number inside the database critical section**, so
+//! sorting a drained trace by `seq` reproduces the exact order in which
+//! the recorded history interleaved the transactions' operations. That
+//! is what lets [`crate::trace::analyze`] rebuild the dependency graph
+//! from the trace alone.
+
+use crate::cc::ShardRoute;
+use oodb_sim::EncOp;
+
+/// Sentinel worker id for events emitted off the worker pool (the
+/// submission path, preload on the caller thread).
+pub const WORKER_EXTERNAL: u32 = u32::MAX;
+
+/// Sentinel txn number for events emitted before a recorded transaction
+/// exists for the attempt (e.g. a deadline expiring in the queue).
+pub const TXN_NONE: u32 = u32::MAX;
+
+/// Which shard(s) an operation's bookkeeping routed to, in trace form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceShard {
+    /// A single shard.
+    One(u32),
+    /// Every shard (container-wide scans, page-granularity modes).
+    All,
+}
+
+impl From<ShardRoute> for TraceShard {
+    fn from(r: ShardRoute) -> Self {
+        match r {
+            ShardRoute::One(s) => TraceShard::One(s as u32),
+            ShardRoute::All => TraceShard::All,
+        }
+    }
+}
+
+/// Outcome of one certification (validation) attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertOutcome {
+    /// Validation succeeded; the transaction committed.
+    Commit,
+    /// Validation failed; the transaction aborts.
+    Abort,
+    /// A live predecessor must finalize first; the worker polls again.
+    Wait,
+    /// A concurrent commit landed on a scope shard mid-validation; the
+    /// round is repeated against a fresh plan.
+    Stale,
+}
+
+/// Why an attempt aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Chosen as a deadlock/wound victim or doomed by a cascading abort.
+    Victim,
+    /// Failed commit-time validation.
+    Validation,
+    /// Gave up after exhausting bounded commit-dependency wait rounds.
+    WaitCycle,
+    /// The job's deadline passed.
+    Deadline,
+    /// The fault-injection hook fired.
+    Injected,
+}
+
+impl AbortReason {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::Victim => "victim",
+            AbortReason::Validation => "validation",
+            AbortReason::WaitCycle => "wait-cycle",
+            AbortReason::Deadline => "deadline",
+            AbortReason::Injected => "injected",
+        }
+    }
+}
+
+impl CertOutcome {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            CertOutcome::Commit => "commit",
+            CertOutcome::Abort => "abort",
+            CertOutcome::Wait => "wait",
+            CertOutcome::Stale => "stale",
+        }
+    }
+}
+
+/// What happened. Payload fields are event-specific; identity lives in
+/// the enclosing [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A job entered the admission queue.
+    JobAdmitted {
+        /// Queue depth right after admission.
+        depth: usize,
+    },
+    /// Admission control rejected a submission (queue full or closed).
+    JobShed {
+        /// Queue depth at the rejection.
+        depth: usize,
+    },
+    /// A worker began executing an attempt of a job.
+    AttemptBegin {
+        /// Number of operations the job performs.
+        ops: usize,
+    },
+    /// An operation passed its concurrency-control gate and executed.
+    /// The event's `seq` is claimed inside the database critical
+    /// section, so `seq` order over these events *is* the history order.
+    OpGranted {
+        /// The executed operation.
+        op: EncOp,
+        /// Where its bookkeeping routed.
+        shard: TraceShard,
+        /// Time spent waiting for the grant, in nanoseconds.
+        wait_ns: u64,
+        /// Whether the operation engaged its target item(s): a write
+        /// that succeeded, or a search that found its key. A failed
+        /// write (insert of an existing key, change/delete of a missing
+        /// one) and a search miss both execute as read-only probes of
+        /// the key's index entry — their effective conflict footprint
+        /// is what the dependency reconstruction relies on.
+        hit: bool,
+    },
+    /// One semantic inverse executed while compensating an aborted
+    /// attempt, expressed as the encyclopedia operation it ran. Like
+    /// `OpGranted`, the `seq` is claimed inside the database critical
+    /// section, so membership replay over the trace stays exact (a
+    /// compensating re-insert creates a *new* item, which later
+    /// operations touch instead of the aborted one's).
+    CompensationOp {
+        /// The inverse operation as executed.
+        op: EncOp,
+        /// Whether the inverse applied (false = failed compensation,
+        /// surfaced in the abort report).
+        hit: bool,
+    },
+    /// The concurrency control observed a conflict (or a commuting
+    /// near-conflict) between this attempt and another transaction —
+    /// the paper's Definition 10 machinery made visible. `inherited`
+    /// distinguishes a true semantic conflict (the dependency is
+    /// inherited to the top level) from a pair that conflicts at page
+    /// granularity but commutes at the caller, where inheritance stops.
+    Conflict {
+        /// Lock-owner / transaction number of the other party.
+        with: u64,
+        /// This attempt's action descriptor, e.g. `insert(k1)`.
+        ours: String,
+        /// The other party's descriptor.
+        theirs: String,
+        /// True when the pair conflicts semantically (dependency
+        /// inherited); false when it stopped at a commuting caller.
+        inherited: bool,
+    },
+    /// Wound-wait: this (older) attempt doomed a younger lock holder.
+    WoundIssued {
+        /// Job id of the wounded holder.
+        victim_job: u64,
+        /// Lock-owner id of the wounded holder.
+        victim: u64,
+    },
+    /// This attempt noticed it was wounded and aborts.
+    WoundReceived {
+        /// Lock-owner id of the wounder, when known (0 if unknown).
+        by: u64,
+    },
+    /// One certification round of an optimistic commit.
+    CertAttempt {
+        /// Size of the validation scope: the shard-connected conflict
+        /// component (sharded) or the committed-set scope (global).
+        component: usize,
+        /// How the round ended.
+        outcome: CertOutcome,
+    },
+    /// The worker polled the protocol and was told to wait for a live
+    /// commit-dependency predecessor.
+    CommitDepWait {
+        /// 1-based wait round of this attempt.
+        round: u32,
+    },
+    /// An abort doomed a live dependent (cascading abort).
+    CascadeDoom {
+        /// Transaction number of the doomed dependent.
+        victim: u64,
+    },
+    /// The worker compensated this attempt's completed operations.
+    Compensated {
+        /// How many forward operations had completed.
+        ops: usize,
+    },
+    /// The attempt committed (the job is done).
+    Committed,
+    /// The attempt aborted.
+    Aborted {
+        /// Why.
+        reason: AbortReason,
+        /// True when this was the job's final attempt (retries
+        /// exhausted or deadline passed) — the job is dropped.
+        last: bool,
+    },
+}
+
+impl TraceEventKind {
+    /// Stable snake_case name of the event kind (the JSONL `"kind"`
+    /// field and the Chrome-trace event name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::JobAdmitted { .. } => "job_admitted",
+            TraceEventKind::JobShed { .. } => "job_shed",
+            TraceEventKind::AttemptBegin { .. } => "attempt_begin",
+            TraceEventKind::OpGranted { .. } => "op_granted",
+            TraceEventKind::CompensationOp { .. } => "compensation_op",
+            TraceEventKind::Conflict { .. } => "conflict",
+            TraceEventKind::WoundIssued { .. } => "wound_issued",
+            TraceEventKind::WoundReceived { .. } => "wound_received",
+            TraceEventKind::CertAttempt { .. } => "cert_attempt",
+            TraceEventKind::CommitDepWait { .. } => "commit_dep_wait",
+            TraceEventKind::CascadeDoom { .. } => "cascade_doom",
+            TraceEventKind::Compensated { .. } => "compensated",
+            TraceEventKind::Committed => "committed",
+            TraceEventKind::Aborted { .. } => "aborted",
+        }
+    }
+}
+
+/// One trace record: the identity stamp plus the typed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global emission sequence number (total order over the trace;
+    /// history order over `OpGranted` events).
+    pub seq: u64,
+    /// Nanoseconds since the engine started.
+    pub t_ns: u64,
+    /// Logical job id (`u64::MAX` for the preload transaction).
+    pub job: u64,
+    /// 0-based attempt number of the job.
+    pub attempt: u32,
+    /// Recorded transaction number of the attempt ([`TXN_NONE`] when no
+    /// transaction exists yet).
+    pub txn: u32,
+    /// Worker index, or [`WORKER_EXTERNAL`] for off-pool threads.
+    pub worker: u32,
+    /// The typed payload.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// The root transaction name this engine records for the event's
+    /// attempt: `"Setup"` for the preload job, else `"J<job+1>"` with an
+    /// `r<attempt>` suffix for retries — e.g. job 2, attempt 1 → `"J3r1"`.
+    pub fn attempt_name(&self) -> String {
+        attempt_name(self.job, self.attempt)
+    }
+}
+
+/// [`TraceEvent::attempt_name`] as a free function (used by the analyzer
+/// when grouping events it has already taken apart).
+pub fn attempt_name(job: u64, attempt: u32) -> String {
+    let base = if job == u64::MAX {
+        "Setup".to_string()
+    } else {
+        format!("J{}", job + 1)
+    };
+    if attempt == 0 {
+        base
+    } else {
+        format!("{base}r{attempt}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_names_match_worker_naming() {
+        assert_eq!(attempt_name(u64::MAX, 0), "Setup");
+        assert_eq!(attempt_name(0, 0), "J1");
+        assert_eq!(attempt_name(2, 0), "J3");
+        assert_eq!(attempt_name(2, 1), "J3r1");
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(TraceEventKind::Committed.name(), "committed");
+        assert_eq!(
+            TraceEventKind::OpGranted {
+                op: EncOp::ReadSeq,
+                shard: TraceShard::All,
+                wait_ns: 0,
+                hit: true,
+            }
+            .name(),
+            "op_granted"
+        );
+    }
+
+    #[test]
+    fn shard_route_converts() {
+        assert_eq!(TraceShard::from(ShardRoute::One(3)), TraceShard::One(3));
+        assert_eq!(TraceShard::from(ShardRoute::All), TraceShard::All);
+    }
+}

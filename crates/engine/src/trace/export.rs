@@ -1,0 +1,478 @@
+//! Trace exporters: JSONL and Chrome `trace_event` JSON.
+//!
+//! Both are hand-rolled (no serde in the offline build). The JSONL form
+//! is one object per line with a stable key order, so a fixed-seed
+//! single-worker run exports byte-identically — the determinism tests
+//! rely on the canonical variant, which omits the wall-clock fields.
+//! The Chrome form loads directly in `about:tracing` or
+//! <https://ui.perfetto.dev>: each attempt becomes a complete (`"X"`)
+//! slice on its worker's track and every other event an instant (`"i"`).
+
+use std::fmt::Write as _;
+
+use oodb_sim::exec::op_descriptor;
+
+use super::event::{TraceEvent, TraceEventKind, TraceShard, TXN_NONE, WORKER_EXTERNAL};
+use super::sink::TraceLog;
+
+/// Escape a string for a JSON string literal (without the quotes).
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `"key":"value",` with escaping.
+fn put_str(out: &mut String, key: &str, val: &str) {
+    let _ = write!(out, "\"{key}\":\"");
+    esc(val, out);
+    out.push_str("\",");
+}
+
+fn put_u64(out: &mut String, key: &str, val: u64) {
+    let _ = write!(out, "\"{key}\":{val},");
+}
+
+fn put_bool(out: &mut String, key: &str, val: bool) {
+    let _ = write!(out, "\"{key}\":{val},");
+}
+
+fn shard_str(s: TraceShard) -> String {
+    match s {
+        TraceShard::One(i) => i.to_string(),
+        TraceShard::All => "all".to_string(),
+    }
+}
+
+/// Append the payload-specific keys of `kind` to `out`.
+fn payload(out: &mut String, kind: &TraceEventKind, timing: bool) {
+    match kind {
+        TraceEventKind::JobAdmitted { depth } | TraceEventKind::JobShed { depth } => {
+            put_u64(out, "depth", *depth as u64);
+        }
+        TraceEventKind::AttemptBegin { ops } => put_u64(out, "ops", *ops as u64),
+        TraceEventKind::OpGranted {
+            op,
+            shard,
+            wait_ns,
+            hit,
+        } => {
+            put_str(out, "op", &op_descriptor(op).to_string());
+            put_str(out, "shard", &shard_str(*shard));
+            put_bool(out, "hit", *hit);
+            if timing {
+                put_u64(out, "wait_ns", *wait_ns);
+            }
+        }
+        TraceEventKind::CompensationOp { op, hit } => {
+            put_str(out, "op", &op_descriptor(op).to_string());
+            put_bool(out, "hit", *hit);
+        }
+        TraceEventKind::Conflict {
+            with,
+            ours,
+            theirs,
+            inherited,
+        } => {
+            put_u64(out, "with", *with);
+            put_str(out, "ours", ours);
+            put_str(out, "theirs", theirs);
+            put_bool(out, "inherited", *inherited);
+        }
+        TraceEventKind::WoundIssued { victim_job, victim } => {
+            put_u64(out, "victim_job", *victim_job);
+            put_u64(out, "victim", *victim);
+        }
+        TraceEventKind::WoundReceived { by } => put_u64(out, "by", *by),
+        TraceEventKind::CertAttempt { component, outcome } => {
+            put_u64(out, "component", *component as u64);
+            put_str(out, "outcome", outcome.label());
+        }
+        TraceEventKind::CommitDepWait { round } => put_u64(out, "round", *round as u64),
+        TraceEventKind::CascadeDoom { victim } => put_u64(out, "victim", *victim),
+        TraceEventKind::Compensated { ops } => put_u64(out, "ops", *ops as u64),
+        TraceEventKind::Committed => {}
+        TraceEventKind::Aborted { reason, last } => {
+            put_str(out, "reason", reason.label());
+            put_bool(out, "last", *last);
+        }
+    }
+}
+
+fn event_line(out: &mut String, ev: &TraceEvent, timing: bool, seq: u64) {
+    out.push('{');
+    put_u64(out, "seq", seq);
+    if timing {
+        put_u64(out, "t_ns", ev.t_ns);
+    }
+    put_str(out, "kind", ev.kind.name());
+    // A shed submission never got a job id; every other event belongs
+    // to a (job, attempt) and is stamped with the attempt's name.
+    if !matches!(ev.kind, TraceEventKind::JobShed { .. }) {
+        if ev.job == u64::MAX {
+            put_str(out, "job", "setup");
+        } else {
+            put_u64(out, "job", ev.job);
+        }
+        put_u64(out, "attempt", ev.attempt as u64);
+        if ev.txn != TXN_NONE {
+            put_u64(out, "txn", ev.txn as u64);
+        }
+        put_str(out, "name", &ev.attempt_name());
+    }
+    if ev.worker == WORKER_EXTERNAL {
+        put_str(out, "worker", "ext");
+    } else {
+        put_u64(out, "worker", ev.worker as u64);
+    }
+    payload(out, &ev.kind, timing);
+    // Drop the trailing comma and close.
+    out.pop();
+    out.push_str("}\n");
+}
+
+/// Full JSONL export: one event per line, timing fields included.
+pub fn to_jsonl(log: &TraceLog) -> String {
+    let mut out = String::new();
+    for ev in &log.events {
+        event_line(&mut out, ev, true, ev.seq);
+    }
+    out
+}
+
+/// Canonical JSONL export: the deterministic projection of a trace.
+/// Omits the wall-clock fields (`t_ns`, `wait_ns`), drops the
+/// admission-side events (`job_admitted`/`job_shed` are emitted by the
+/// submitting thread, so their position in the global sequence — and
+/// the queue depth they observe — race the workers even on a
+/// single-worker engine), and renumbers `seq` densely over what
+/// remains. A fixed-seed single-worker run exports byte-identically.
+pub fn to_jsonl_canonical(log: &TraceLog) -> String {
+    let mut out = String::new();
+    let mut seq = 0u64;
+    for ev in &log.events {
+        if matches!(
+            ev.kind,
+            TraceEventKind::JobAdmitted { .. } | TraceEventKind::JobShed { .. }
+        ) {
+            continue;
+        }
+        event_line(&mut out, ev, false, seq);
+        seq += 1;
+    }
+    out
+}
+
+/// Chrome `trace_event` JSON. Attempts become `"X"` (complete) slices —
+/// one per `AttemptBegin`..`Committed`/`Aborted` pair on the worker's
+/// track — and every event an `"i"` (instant) marker with its payload in
+/// `args`. Load the file in `about:tracing` or ui.perfetto.dev.
+pub fn to_chrome_trace(log: &TraceLog) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+
+    // Open attempts: (job, attempt) -> (begin t_ns, worker).
+    let mut open: Vec<((u64, u32), (u64, u32))> = Vec::new();
+    for ev in &log.events {
+        let ts_us = ev.t_ns / 1000;
+        let tid = if ev.worker == WORKER_EXTERNAL {
+            9999
+        } else {
+            ev.worker as u64
+        };
+        match &ev.kind {
+            TraceEventKind::AttemptBegin { .. } => {
+                open.retain(|(k, _)| *k != (ev.job, ev.attempt));
+                open.push(((ev.job, ev.attempt), (ev.t_ns, ev.worker)));
+            }
+            TraceEventKind::Committed | TraceEventKind::Aborted { .. } => {
+                if let Some(pos) = open.iter().position(|(k, _)| *k == (ev.job, ev.attempt)) {
+                    let (_, (t0, w)) = open.swap_remove(pos);
+                    let dur_us = (ev.t_ns.saturating_sub(t0)) / 1000;
+                    let slice_tid = if w == WORKER_EXTERNAL { 9999 } else { w as u64 };
+                    sep(&mut out);
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"cat\":\"txn\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"outcome\":\"{}\"}}}}",
+                        ev.attempt_name(),
+                        t0 / 1000,
+                        dur_us.max(1),
+                        slice_tid,
+                        ev.kind.name(),
+                    );
+                }
+            }
+            _ => {}
+        }
+        // Every event also lands as an instant marker with its payload.
+        let mut args = String::from("{");
+        put_u64(&mut args, "seq", ev.seq);
+        if !matches!(ev.kind, TraceEventKind::JobShed { .. }) {
+            put_str(&mut args, "name", &ev.attempt_name());
+        }
+        payload(&mut args, &ev.kind, true);
+        args.pop();
+        args.push('}');
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
+            ev.kind.name(),
+            ts_us,
+            tid,
+            args,
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped\":{}}}}}",
+        log.dropped
+    );
+    out
+}
+
+/// Minimal recursive-descent JSON well-formedness check (tests and the
+/// CI smoke step use it; not a general-purpose parser).
+pub fn validate_json(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0;
+    fn ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+    fn value(b: &[u8], i: &mut usize) -> bool {
+        ws(b, i);
+        if *i >= b.len() {
+            return false;
+        }
+        match b[*i] {
+            b'{' => {
+                *i += 1;
+                ws(b, i);
+                if *i < b.len() && b[*i] == b'}' {
+                    *i += 1;
+                    return true;
+                }
+                loop {
+                    ws(b, i);
+                    if !string(b, i) {
+                        return false;
+                    }
+                    ws(b, i);
+                    if *i >= b.len() || b[*i] != b':' {
+                        return false;
+                    }
+                    *i += 1;
+                    if !value(b, i) {
+                        return false;
+                    }
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return true;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            b'[' => {
+                *i += 1;
+                ws(b, i);
+                if *i < b.len() && b[*i] == b']' {
+                    *i += 1;
+                    return true;
+                }
+                loop {
+                    if !value(b, i) {
+                        return false;
+                    }
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return true;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            b'"' => string(b, i),
+            b't' => lit(b, i, b"true"),
+            b'f' => lit(b, i, b"false"),
+            b'n' => lit(b, i, b"null"),
+            _ => number(b, i),
+        }
+    }
+    fn string(b: &[u8], i: &mut usize) -> bool {
+        if *i >= b.len() || b[*i] != b'"' {
+            return false;
+        }
+        *i += 1;
+        while *i < b.len() {
+            match b[*i] {
+                b'"' => {
+                    *i += 1;
+                    return true;
+                }
+                b'\\' => *i += 2,
+                _ => *i += 1,
+            }
+        }
+        false
+    }
+    fn lit(b: &[u8], i: &mut usize, lit: &[u8]) -> bool {
+        if b.len() - *i >= lit.len() && &b[*i..*i + lit.len()] == lit {
+            *i += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+    fn number(b: &[u8], i: &mut usize) -> bool {
+        let start = *i;
+        if *i < b.len() && b[*i] == b'-' {
+            *i += 1;
+        }
+        while *i < b.len()
+            && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            *i += 1;
+        }
+        *i > start
+    }
+    if !value(b, &mut i) {
+        return false;
+    }
+    ws(b, &mut i);
+    i == b.len()
+}
+
+/// Validate a JSONL document: every non-empty line is valid JSON.
+pub fn validate_jsonl(s: &str) -> bool {
+    s.lines()
+        .filter(|l| !l.trim().is_empty())
+        .all(validate_json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::event::{AbortReason, TraceEvent};
+    use super::*;
+    use oodb_sim::EncOp;
+
+    fn log() -> TraceLog {
+        let mk = |seq, kind| TraceEvent {
+            seq,
+            t_ns: seq * 1500,
+            job: 0,
+            attempt: 0,
+            txn: 1,
+            worker: 0,
+            kind,
+        };
+        TraceLog {
+            events: vec![
+                mk(0, TraceEventKind::AttemptBegin { ops: 2 }),
+                mk(
+                    1,
+                    TraceEventKind::OpGranted {
+                        op: EncOp::Insert("k\"1".into()),
+                        shard: TraceShard::One(0),
+                        wait_ns: 42,
+                        hit: true,
+                    },
+                ),
+                mk(
+                    2,
+                    TraceEventKind::Conflict {
+                        with: 2,
+                        ours: "insert(k1)".into(),
+                        theirs: "delete(k1)".into(),
+                        inherited: true,
+                    },
+                ),
+                mk(
+                    3,
+                    TraceEventKind::Aborted {
+                        reason: AbortReason::Victim,
+                        last: false,
+                    },
+                ),
+            ],
+            dropped: 1,
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json() {
+        let s = to_jsonl(&log());
+        assert_eq!(s.lines().count(), 4);
+        assert!(validate_jsonl(&s), "invalid jsonl: {s}");
+        assert!(s.contains("\"kind\":\"conflict\""));
+        assert!(s.contains("\"inherited\":true"));
+        // The quote in the key is escaped.
+        assert!(s.contains("insert(k\\\"1)"));
+    }
+
+    #[test]
+    fn canonical_jsonl_omits_timing_and_admission_events() {
+        let mut l = log();
+        l.events.insert(
+            0,
+            TraceEvent {
+                seq: 0,
+                t_ns: 7,
+                job: 5,
+                attempt: 0,
+                txn: TXN_NONE,
+                worker: WORKER_EXTERNAL,
+                kind: TraceEventKind::JobAdmitted { depth: 1 },
+            },
+        );
+        let s = to_jsonl_canonical(&l);
+        assert!(!s.contains("t_ns"));
+        assert!(!s.contains("wait_ns"));
+        assert!(!s.contains("job_admitted"), "admission events are racy");
+        assert_eq!(s.lines().count(), 4, "renumbered over the remainder");
+        assert!(s.starts_with("{\"seq\":0,"), "seq renumbered densely");
+        assert!(validate_jsonl(&s));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_slices() {
+        let s = to_chrome_trace(&log());
+        assert!(validate_json(&s), "invalid chrome trace: {s}");
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"dropped\":1"));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(!validate_json("{\"a\":}"));
+        assert!(!validate_json("{"));
+        assert!(!validate_json("[1,2,"));
+        assert!(validate_json(" {\"a\": [1, -2.5e3, true, null, \"x\"]} "));
+    }
+}

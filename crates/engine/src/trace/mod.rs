@@ -1,0 +1,216 @@
+//! Structured transaction tracing.
+//!
+//! The engine stamps every lifecycle transition — admission, shedding,
+//! attempt start, operation grants, conflicts, wounds, certification
+//! rounds, commit-dependency waits, compensation, commit/abort — with
+//! `(job, attempt, txn, worker, seq)` and hands it to a pluggable
+//! [`TraceSink`]. With the default [`NullSink`] the whole subsystem
+//! costs one branch per would-be event; with the ring sink
+//! ([`RingSink`]) events land in per-worker lock-free lanes and are
+//! drained at shutdown into a [`TraceLog`].
+//!
+//! Two exporters ([`export::to_jsonl`], [`export::to_chrome_trace`])
+//! turn a log into files, and [`analyze`] reconstructs the transaction
+//! dependency graph from the trace alone and cross-checks it against
+//! the shutdown serializability audit.
+
+pub mod analyze;
+pub mod event;
+pub mod export;
+pub mod sink;
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+pub use analyze::{cross_check, reconstruct_graph, CrossCheck, DepGraph};
+pub use event::{
+    attempt_name, AbortReason, CertOutcome, TraceEvent, TraceEventKind, TraceShard, TXN_NONE,
+    WORKER_EXTERNAL,
+};
+pub use sink::{NullSink, RingSink, TraceLog, TraceSink};
+
+use crate::cc::TxnHandle;
+use crate::config::TraceMode;
+
+thread_local! {
+    /// The lane this thread's events route to. Workers set their index
+    /// at startup; every other thread keeps the external sentinel.
+    static WORKER_ID: Cell<u32> = const { Cell::new(WORKER_EXTERNAL) };
+}
+
+/// Mark the current thread as pool worker `idx` for lane routing and
+/// event stamping. Called once per worker thread at startup.
+pub fn set_worker_id(idx: u32) {
+    WORKER_ID.with(|w| w.set(idx));
+}
+
+/// The current thread's worker id ([`WORKER_EXTERNAL`] off the pool).
+pub fn current_worker_id() -> u32 {
+    WORKER_ID.with(|w| w.get())
+}
+
+/// The engine's tracing front end: owns the sink, the global sequence
+/// counter, and the epoch all timestamps are relative to.
+///
+/// Cloning is cheap (one `Arc` bump); every clone shares the same
+/// counter and sink.
+#[derive(Clone)]
+pub struct Tracer {
+    sink: Arc<dyn TraceSink>,
+    /// `sink.enabled()`, cached so the hot path is a plain bool load.
+    enabled: bool,
+    seq: Arc<AtomicU64>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled)
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer over an explicit sink.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        let enabled = sink.enabled();
+        Tracer {
+            sink,
+            enabled,
+            seq: Arc::new(AtomicU64::new(0)),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The no-op tracer ([`NullSink`]).
+    pub fn disabled() -> Self {
+        Tracer::new(Arc::new(NullSink))
+    }
+
+    /// Build the tracer an [`crate::EngineConfig`] asks for.
+    pub fn from_mode(mode: &TraceMode, workers: usize) -> Self {
+        match mode {
+            TraceMode::Off => Tracer::disabled(),
+            TraceMode::Ring { capacity_per_lane } => {
+                Tracer::new(Arc::new(RingSink::new(workers, *capacity_per_lane)))
+            }
+        }
+    }
+
+    /// Whether events are being captured. When false, `emit*` returns
+    /// without evaluating the payload closure.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Claim the next global sequence number. Use together with
+    /// [`Tracer::emit_at`] to pin an event's position in the trace order
+    /// to a point inside a critical section (the operation events do
+    /// this so `seq` order equals history order). Only meaningful when
+    /// enabled.
+    #[inline]
+    pub fn claim_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Emit an event with a freshly claimed sequence number. The payload
+    /// closure only runs when tracing is enabled.
+    #[inline]
+    pub fn emit<F>(&self, job: u64, attempt: u32, txn: u32, kind: F)
+    where
+        F: FnOnce() -> TraceEventKind,
+    {
+        if !self.enabled {
+            return;
+        }
+        let seq = self.claim_seq();
+        self.emit_at(seq, job, attempt, txn, kind());
+    }
+
+    /// Emit an event stamped for a transaction handle.
+    #[inline]
+    pub fn emit_txn<F>(&self, handle: &TxnHandle, kind: F)
+    where
+        F: FnOnce() -> TraceEventKind,
+    {
+        self.emit(handle.job, handle.attempt, handle.owner.0 as u32, kind);
+    }
+
+    /// Emit an event at a pre-claimed sequence number (see
+    /// [`Tracer::claim_seq`]). No-op when disabled.
+    pub fn emit_at(&self, seq: u64, job: u64, attempt: u32, txn: u32, kind: TraceEventKind) {
+        if !self.enabled {
+            return;
+        }
+        let worker = current_worker_id();
+        let ev = TraceEvent {
+            seq,
+            t_ns: self.epoch.elapsed().as_nanos() as u64,
+            job,
+            attempt,
+            txn,
+            worker,
+            kind,
+        };
+        self.sink.record(worker as usize, ev);
+    }
+
+    /// Drain the sink. Returns `None` for the disabled tracer so callers
+    /// can skip export entirely.
+    pub fn drain(&self) -> Option<TraceLog> {
+        if !self.enabled {
+            return None;
+        }
+        Some(self.sink.drain())
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_skips_payload_closure() {
+        let t = Tracer::disabled();
+        let mut ran = false;
+        t.emit(0, 0, TXN_NONE, || {
+            ran = true;
+            TraceEventKind::Committed
+        });
+        assert!(!ran);
+        assert!(t.drain().is_none());
+    }
+
+    #[test]
+    fn ring_tracer_captures_in_seq_order() {
+        let t = Tracer::new(Arc::new(RingSink::new(1, 16)));
+        t.emit(0, 0, 0, || TraceEventKind::AttemptBegin { ops: 2 });
+        let pinned = t.claim_seq();
+        t.emit(0, 0, 0, || TraceEventKind::Committed);
+        t.emit_at(pinned, 0, 0, 0, TraceEventKind::CommitDepWait { round: 1 });
+        let log = t.drain().unwrap();
+        let kinds: Vec<&str> = log.events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(kinds, vec!["attempt_begin", "commit_dep_wait", "committed"]);
+        assert_eq!(log.dropped, 0);
+    }
+
+    #[test]
+    fn external_thread_stamps_sentinel_worker() {
+        let t = Tracer::new(Arc::new(RingSink::new(2, 4)));
+        t.emit(7, 0, TXN_NONE, || TraceEventKind::JobAdmitted { depth: 1 });
+        let log = t.drain().unwrap();
+        assert_eq!(log.events[0].worker, WORKER_EXTERNAL);
+        assert_eq!(log.events[0].job, 7);
+    }
+}

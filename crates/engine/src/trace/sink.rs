@@ -1,0 +1,249 @@
+//! Trace sinks: where emitted events go.
+//!
+//! [`NullSink`] is the default — the hot path pays exactly one branch on
+//! a cached `enabled` bool and never constructs an event. [`RingSink`]
+//! is a per-worker-lane, lock-free, bounded ring: writers claim a slot
+//! with one `fetch_add` on their lane's cursor and publish it with one
+//! `Release` store, so tracing never blocks a worker and never allocates
+//! after construction (beyond the event payloads themselves). When a
+//! lane fills, new events are dropped (drop-newest) and counted.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use super::event::TraceEvent;
+
+/// Everything drained out of a sink at shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    /// All captured events, sorted by `seq`.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overflow (drop-newest).
+    pub dropped: u64,
+}
+
+/// A destination for trace events. Implementations must be safe to call
+/// from every worker thread concurrently.
+pub trait TraceSink: Send + Sync {
+    /// Whether this sink wants events at all. The [`super::Tracer`]
+    /// caches this at construction; a `false` here means `record` is
+    /// never called and the engine pays a single predictable branch.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Accept one event. `lane` is the emitting worker's index (or the
+    /// external lane for off-pool threads); sinks may use it to avoid
+    /// cross-thread contention.
+    fn record(&self, lane: usize, ev: TraceEvent);
+
+    /// Take every captured event. Called once, after the worker pool has
+    /// joined, so implementations may assume no concurrent `record`.
+    fn drain(&self) -> TraceLog;
+}
+
+/// The disabled sink: drops everything, reports `enabled() == false`.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _lane: usize, _ev: TraceEvent) {}
+
+    fn drain(&self) -> TraceLog {
+        TraceLog::default()
+    }
+}
+
+/// One ring slot. `ready` is the publication flag: the writer fills the
+/// cell, then stores `ready = true` with `Release`; the drainer reads
+/// `ready` with `Acquire` before touching the cell.
+struct Slot {
+    ready: AtomicBool,
+    ev: UnsafeCell<Option<TraceEvent>>,
+}
+
+// SAFETY: cross-thread access to `ev` is mediated by the slot-claim
+// protocol — `Lane::cursor.fetch_add` hands each writer a distinct slot
+// index, so no two writers ever touch the same cell, and the drainer
+// only reads cells whose `ready` flag it has Acquire-loaded as true
+// (pairing with the writer's Release store).
+unsafe impl Sync for Slot {}
+
+/// One worker's private segment of the ring.
+struct Lane {
+    cursor: AtomicUsize,
+    dropped: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Lane {
+    fn new(capacity: usize) -> Self {
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                ready: AtomicBool::new(false),
+                ev: UnsafeCell::new(None),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Lane {
+            cursor: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    fn record(&self, ev: TraceEvent) {
+        // Claim a slot. fetch_add makes this multi-writer safe even
+        // though a lane normally has one writer (the external lane is
+        // shared by every off-pool thread).
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if idx >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let slot = &self.slots[idx];
+        // SAFETY: `idx` was handed out exactly once, so this thread is
+        // the only writer of this cell, and `ready` is still false so
+        // the drainer is not reading it.
+        unsafe {
+            *slot.ev.get() = Some(ev);
+        }
+        slot.ready.store(true, Ordering::Release);
+    }
+
+    fn drain_into(&self, out: &mut Vec<TraceEvent>) -> u64 {
+        let claimed = self.cursor.load(Ordering::Acquire).min(self.slots.len());
+        for slot in &self.slots[..claimed] {
+            if slot.ready.load(Ordering::Acquire) {
+                // SAFETY: ready == true (Acquire) pairs with the
+                // writer's Release store, and drain runs after the
+                // worker pool has joined.
+                if let Some(ev) = unsafe { (*slot.ev.get()).take() } {
+                    out.push(ev);
+                }
+            }
+        }
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Lock-free bounded ring sink with one lane per worker plus one shared
+/// lane for off-pool threads (submission, preload).
+pub struct RingSink {
+    lanes: Box<[Lane]>,
+}
+
+impl RingSink {
+    /// `workers` pool threads, each lane holding up to
+    /// `capacity_per_lane` events. A final extra lane catches events
+    /// from outside the pool.
+    pub fn new(workers: usize, capacity_per_lane: usize) -> Self {
+        let lanes = (0..workers + 1)
+            .map(|_| Lane::new(capacity_per_lane))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        RingSink { lanes }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, lane: usize, ev: TraceEvent) {
+        // Out-of-range lanes (external threads) share the last lane.
+        let lane = lane.min(self.lanes.len() - 1);
+        self.lanes[lane].record(ev);
+    }
+
+    fn drain(&self) -> TraceLog {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for lane in self.lanes.iter() {
+            dropped += lane.drain_into(&mut events);
+        }
+        events.sort_by_key(|ev| ev.seq);
+        TraceLog { events, dropped }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::event::{TraceEventKind, TXN_NONE};
+    use super::*;
+    use std::sync::Arc;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            t_ns: seq * 10,
+            job: seq,
+            attempt: 0,
+            txn: TXN_NONE,
+            worker: 0,
+            kind: TraceEventKind::Committed,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_empty() {
+        let s = NullSink;
+        assert!(!s.enabled());
+        s.record(0, ev(1));
+        let log = s.drain();
+        assert!(log.events.is_empty());
+        assert_eq!(log.dropped, 0);
+    }
+
+    #[test]
+    fn ring_drain_merges_lanes_sorted_by_seq() {
+        let s = RingSink::new(2, 8);
+        s.record(1, ev(2));
+        s.record(0, ev(1));
+        s.record(2, ev(3)); // external lane
+        s.record(99, ev(4)); // out-of-range routes to external lane
+        let log = s.drain();
+        let seqs: Vec<u64> = log.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4]);
+        assert_eq!(log.dropped, 0);
+    }
+
+    #[test]
+    fn ring_overflow_drops_newest_and_counts() {
+        let s = RingSink::new(1, 4);
+        for i in 0..10 {
+            s.record(0, ev(i));
+        }
+        let log = s.drain();
+        assert_eq!(log.events.len(), 4);
+        assert_eq!(log.dropped, 6);
+        // Drop-newest: the first four survive.
+        let seqs: Vec<u64> = log.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ring_concurrent_writers_lose_nothing_within_capacity() {
+        let s = Arc::new(RingSink::new(4, 1024));
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    s.record(w as usize, ev(w * 1000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let log = s.drain();
+        assert_eq!(log.events.len(), 4000);
+        assert_eq!(log.dropped, 0);
+        // Sorted by seq and all distinct.
+        for pair in log.events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
+    }
+}

@@ -5,9 +5,11 @@
 use crate::cc::{ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, TxnHandle};
 use crate::config::EngineConfig;
 use crate::queue::{Job, JobQueue};
+use crate::trace::{AbortReason, TraceEventKind, TXN_NONE};
 use oodb_core::ids::TxnIdx;
 use oodb_lock::OwnerId;
 use oodb_sim::exec::apply_op;
+use oodb_sim::EncOp;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
@@ -41,18 +43,30 @@ fn past(deadline: Option<Instant>) -> bool {
     deadline.is_some_and(|d| Instant::now() >= d)
 }
 
+/// The encyclopedia operation a compensation inverse executed — the
+/// trace's membership-replay form of the abort report.
+fn inverse_op(inv: &oodb_core::compensation::Inverse) -> Option<EncOp> {
+    let k = inv.descriptor.args.first()?.as_key()?.to_owned();
+    match inv.descriptor.method.as_str() {
+        "insert" => Some(EncOp::Insert(k)),
+        "update" => Some(EncOp::Change(k)),
+        "delete" => Some(EncOp::Delete(k)),
+        _ => None,
+    }
+}
+
 /// Worker body: drain the queue until it is closed and empty.
 pub(crate) fn run_worker(
+    index: u32,
     shared: &EngineShared,
     queue: &JobQueue,
     cc: &dyn ConcurrencyControl,
     cfg: &EngineConfig,
 ) {
+    // route this thread's trace events to its own ring lane
+    crate::trace::set_worker_id(index);
+    // queue depth is published by the queue itself on every change
     while let Some(job) = queue.pop() {
-        shared
-            .metrics
-            .queue_depth
-            .store(queue.depth(), Ordering::Relaxed);
         process_job(shared, cc, cfg, &job, true);
     }
 }
@@ -75,6 +89,12 @@ pub(crate) fn process_job(
                     .deadline_expired
                     .fetch_add(1, Ordering::Relaxed);
             }
+            shared
+                .trace
+                .emit(job.id, attempt, TXN_NONE, || TraceEventKind::Aborted {
+                    reason: AbortReason::Deadline,
+                    last: true,
+                });
             return;
         }
         let base = if job.id == u64::MAX {
@@ -94,26 +114,58 @@ pub(crate) fn process_job(
             txn: TxnIdx(ctx.txn_number()),
             owner: OwnerId(u64::from(ctx.txn_number())),
         };
+        shared
+            .trace
+            .emit_txn(&handle, || TraceEventKind::AttemptBegin {
+                ops: job.ops.len(),
+            });
 
         let mut aborting = false;
+        let mut reason = AbortReason::Victim;
         let mut ops_done = 0usize;
         for op in &job.ops {
             if cc.is_doomed(&handle) {
                 aborting = true;
+                reason = AbortReason::Victim;
                 break;
             }
             let t0 = Instant::now();
             let grant = cc.before_op(shared, &handle, op);
+            let waited = t0.elapsed();
             if record_metrics {
-                shared.metrics.lock_wait.record(t0.elapsed());
+                shared.metrics.lock_wait.record(waited);
             }
             match grant {
                 OpGrant::Granted => {
-                    let mut enc = shared.enc.lock();
-                    apply_op(&mut enc, &mut ctx, op, job.id.wrapping_add(1) as usize);
+                    // the op's trace seq is claimed INSIDE the database
+                    // critical section, so seq order over OpGranted
+                    // events equals the recorded history order — the
+                    // invariant trace::analyze rebuilds the dependency
+                    // graph from
+                    let (seq, hit) = {
+                        let mut enc = shared.enc.lock();
+                        let seq = shared.trace.enabled().then(|| shared.trace.claim_seq());
+                        let hit = apply_op(&mut enc, &mut ctx, op, job.id.wrapping_add(1) as usize);
+                        (seq, hit)
+                    };
+                    if let Some(seq) = seq {
+                        shared.trace.emit_at(
+                            seq,
+                            handle.job,
+                            handle.attempt,
+                            handle.owner.0 as u32,
+                            TraceEventKind::OpGranted {
+                                op: op.clone(),
+                                shard: cc.route(op).into(),
+                                wait_ns: waited.as_nanos() as u64,
+                                hit,
+                            },
+                        );
+                    }
                 }
                 OpGrant::AbortVictim => {
                     aborting = true;
+                    reason = AbortReason::Victim;
                     break;
                 }
             }
@@ -122,6 +174,7 @@ pub(crate) fn process_job(
             // would, compensating on every shard touched so far
             if cc.inject_abort(&handle, ops_done) {
                 aborting = true;
+                reason = AbortReason::Injected;
                 break;
             }
         }
@@ -136,6 +189,7 @@ pub(crate) fn process_job(
             loop {
                 if past(job.deadline) {
                     aborting = true;
+                    reason = AbortReason::Deadline;
                     break;
                 }
                 match cc.try_finish(shared, &handle) {
@@ -146,18 +200,28 @@ pub(crate) fn process_job(
                             shared.metrics.committed.fetch_add(1, Ordering::Relaxed);
                             shared.metrics.e2e.record(job.submitted_at.elapsed());
                         }
+                        shared.trace.emit_txn(&handle, || TraceEventKind::Committed);
                         return;
                     }
                     FinishOutcome::Wait => {
                         rounds += 1;
+                        shared
+                            .trace
+                            .emit_txn(&handle, || TraceEventKind::CommitDepWait { round: rounds });
                         if rounds > cap {
                             aborting = true;
+                            reason = AbortReason::WaitCycle;
                             break;
                         }
                         std::thread::sleep(FINISH_POLL);
                     }
                     FinishOutcome::Abort => {
                         aborting = true;
+                        reason = if cc.is_doomed(&handle) {
+                            AbortReason::Victim
+                        } else {
+                            AbortReason::Validation
+                        };
                         break;
                     }
                 }
@@ -167,7 +231,7 @@ pub(crate) fn process_job(
         debug_assert!(aborting);
         // compensate this attempt's completed operations in reverse
         // order, then let the protocol release/cascade
-        {
+        let comp_events = {
             let mut enc = shared.enc.lock();
             let mut comp = shared.rec.begin_txn(format!("C({base}a{attempt})"));
             let report = enc.abort(ctx, &mut comp);
@@ -178,13 +242,46 @@ pub(crate) fn process_job(
                     report.failed
                 );
             }
+            // seqs claimed while still inside the critical section, so
+            // the compensation's membership changes interleave with
+            // OpGranted events exactly where the history put them
+            if shared.trace.enabled() {
+                let to_event = |inv: &oodb_core::compensation::Inverse, hit: bool| {
+                    let op = inverse_op(inv)?;
+                    Some((shared.trace.claim_seq(), op, hit))
+                };
+                report
+                    .compensated
+                    .iter()
+                    .filter_map(|inv| to_event(inv, true))
+                    .chain(report.failed.iter().filter_map(|inv| to_event(inv, false)))
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        };
+        for (seq, op, hit) in comp_events {
+            shared.trace.emit_at(
+                seq,
+                handle.job,
+                handle.attempt,
+                handle.owner.0 as u32,
+                TraceEventKind::CompensationOp { op, hit },
+            );
         }
+        shared
+            .trace
+            .emit_txn(&handle, || TraceEventKind::Compensated { ops: ops_done });
         cc.after_abort(shared, &handle);
         if record_metrics {
             shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
         }
+        let last = attempt == cfg.max_retries;
+        shared
+            .trace
+            .emit_txn(&handle, || TraceEventKind::Aborted { reason, last });
 
-        if attempt == cfg.max_retries {
+        if last {
             if record_metrics {
                 shared.metrics.aborted.fetch_add(1, Ordering::Relaxed);
             }

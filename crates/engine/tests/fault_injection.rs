@@ -153,6 +153,7 @@ fn shared_with(cc_shards: usize) -> EngineShared {
         rec,
         enc: Mutex::new(CompensatedEncyclopedia::new(enc)),
         metrics: EngineMetrics::with_shards(cc_shards),
+        trace: oodb_engine::Tracer::disabled(),
     }
 }
 
@@ -278,6 +279,73 @@ fn direct_drive_optimistic_victim_abort_cleanup() {
 
     let out = audit(&shared.rec, &cc);
     assert!(out.report.oo_decentralized.is_ok() && out.report.oo_global.is_ok());
+}
+
+/// Run a traced, fault-injected workload: the first job deletes one key
+/// per shard and is killed after 2 operations, so compensating it
+/// **re-inserts** the deleted items as new incarnations; the remaining
+/// jobs update and scan around the churn.
+fn traced_abort_run(cc: Arc<dyn ConcurrencyControl>, shards: usize) -> oodb_engine::EngineOutput {
+    let keys = keys_on_distinct_shards(shards);
+    let config = EngineConfig {
+        trace: oodb_engine::TraceMode::ring(),
+        ..cfg(shards)
+    };
+    let engine = Engine::start_with(config, cc);
+    engine.preload(&keys);
+    let victim: Vec<EncOp> = keys.iter().map(|k| EncOp::Delete(k.clone())).collect();
+    engine.submit_blocking(victim).unwrap();
+    for k in &keys {
+        engine
+            .submit_blocking(vec![EncOp::Change(k.clone()), EncOp::ReadSeq])
+            .unwrap();
+    }
+    engine.shutdown()
+}
+
+/// The tentpole invariant survives fault injection: with an injected
+/// mid-flight abort whose compensation re-inserts deleted items, the
+/// graph reconstructed from the trace — which must replay those
+/// compensations to keep item incarnations straight — still matches the
+/// audit edge-for-edge.
+#[test]
+fn injected_abort_trace_still_matches_audit() {
+    use oodb_engine::trace::TraceEventKind;
+
+    let shards = 4;
+    for pessimistic in [true, false] {
+        let cc: Arc<dyn ConcurrencyControl> = if pessimistic {
+            let cc = Arc::new(ShardedPessimisticCc::semantic(shards));
+            cc.inject_fault_after(0, 0, 2);
+            cc
+        } else {
+            let cc = Arc::new(ShardedOptimisticCc::new(shards));
+            cc.inject_fault_after(0, 0, 2);
+            cc
+        };
+        let out = traced_abort_run(cc, shards);
+        assert!(out.metrics.retries >= 1, "the injected abort fired");
+        let log = out.trace.expect("ring sink captured a trace");
+        assert_eq!(log.dropped, 0);
+        let comp_ops = log
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::CompensationOp { .. }))
+            .count();
+        assert!(
+            comp_ops >= 2,
+            "both completed deletes were compensated by traced re-inserts"
+        );
+        let audit_out = out.audit.expect("audit enabled");
+        let check = oodb_engine::cross_check(&log.events, &audit_out);
+        assert!(
+            check.ok(),
+            "pessimistic={pessimistic}: trace/audit graphs diverge: {check}\n  trace: {}\n  audit: {}",
+            check.trace,
+            check.audit
+        );
+        assert!(check.matched > 0, "the churn produces dependency edges");
+    }
 }
 
 fn handle(ctx: &oodb_model::TxnCtx, job: u64, attempt: u32) -> TxnHandle {

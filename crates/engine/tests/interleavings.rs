@@ -99,6 +99,7 @@ impl VirtualScheduler {
             rec,
             enc: Mutex::new(CompensatedEncyclopedia::new(enc)),
             metrics: EngineMetrics::with_shards(cc.shards()),
+            trace: oodb_engine::Tracer::disabled(),
         };
         let mut vs = VirtualScheduler {
             shared,

@@ -199,6 +199,16 @@ impl LockManager {
         self.grants.values().map(Vec::len).sum()
     }
 
+    /// The current grants on `resource` as `(owner, descriptor)` pairs —
+    /// a read-only view for observability (e.g. naming the parties of a
+    /// traced conflict).
+    pub fn grants_on(&self, resource: ResourceId) -> Vec<(OwnerId, ActionDescriptor)> {
+        self.grants
+            .get(&resource)
+            .map(|gs| gs.iter().map(|g| (g.owner, g.descriptor.clone())).collect())
+            .unwrap_or_default()
+    }
+
     /// Record that `owner` is no longer waiting (e.g. it was aborted).
     pub fn clear_waiting(&mut self, owner: OwnerId) {
         self.waiting.remove(&owner);

@@ -70,26 +70,26 @@ pub fn page_descriptor(op: &EncOp) -> ActionDescriptor {
 /// Execute one operation against the shared encyclopedia inside the
 /// recorded transaction `ctx`. `tag` labels values written by mutating
 /// operations (typically the 1-based logical transaction number).
-pub fn apply_op(enc: &mut CompensatedEncyclopedia, ctx: &mut TxnCtx, op: &EncOp, tag: usize) {
+///
+/// Returns `true` when the operation **engaged its target items**: a
+/// write that succeeded (insert of a fresh key, change/delete of an
+/// existing one) or a read that found something. A failed write and a
+/// search miss both execute as read-only probes of the key's index
+/// entry — the trace analyzer relies on this flag to reconstruct each
+/// operation's *effective* conflict footprint exactly.
+pub fn apply_op(
+    enc: &mut CompensatedEncyclopedia,
+    ctx: &mut TxnCtx,
+    op: &EncOp,
+    tag: usize,
+) -> bool {
     match op {
-        EncOp::Insert(k) => {
-            enc.insert(ctx, k, &format!("text for {k}"));
-        }
-        EncOp::Search(k) => {
-            enc.search(ctx, k);
-        }
-        EncOp::Change(k) => {
-            enc.change(ctx, k, &format!("changed by {tag}"));
-        }
-        EncOp::Delete(k) => {
-            enc.delete(ctx, k);
-        }
-        EncOp::ReadSeq => {
-            enc.read_seq(ctx);
-        }
-        EncOp::Range(lo, hi) => {
-            enc.inner().range(ctx, lo, hi);
-        }
+        EncOp::Insert(k) => enc.insert(ctx, k, &format!("text for {k}")).is_some(),
+        EncOp::Search(k) => enc.search(ctx, k).is_some(),
+        EncOp::Change(k) => enc.change(ctx, k, &format!("changed by {tag}")),
+        EncOp::Delete(k) => enc.delete(ctx, k),
+        EncOp::ReadSeq => !enc.read_seq(ctx).is_empty(),
+        EncOp::Range(lo, hi) => !enc.inner().range(ctx, lo, hi).is_empty(),
     }
 }
 

@@ -2,11 +2,29 @@
 //! controls, live metrics, and a full serializability audit.
 //!
 //! Run with: `cargo run --example engine`
+//!
+//! With `--trace <path>` the last run (sharded optimistic) is traced:
+//! the structured event log is written to `<path>` as JSONL and to
+//! `<path>.chrome.json` in Chrome `trace_event` format (load it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>), and the dependency
+//! graph reconstructed from the trace is cross-checked against the
+//! audit.
 
-use oodb::engine::{CcKind, EngineConfig};
+use oodb::engine::trace::export::{to_chrome_trace, to_jsonl};
+use oodb::engine::{CcKind, EngineConfig, TraceMode};
 use oodb::sim::{encyclopedia_workload, EncMix, EncWorkloadConfig, Skew};
 
 fn main() {
+    let trace_path = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        args.iter().position(|a| a == "--trace").map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("usage: engine [--trace <path>]");
+                std::process::exit(2);
+            })
+        })
+    };
+
     let workload = encyclopedia_workload(&EncWorkloadConfig {
         txns: 24,
         ops_per_txn: 4,
@@ -18,18 +36,29 @@ fn main() {
     });
 
     println!("24 update-heavy transactions on 24 hot keys, 8 workers:\n");
-    for (kind, shards) in [
+    let combos = [
         (CcKind::Pessimistic, 1),
         (CcKind::PessimisticPage, 1),
         (CcKind::Optimistic, 1),
         (CcKind::Pessimistic, 4),
         (CcKind::Optimistic, 4),
-    ] {
+    ];
+    for (i, (kind, shards)) in combos.into_iter().enumerate() {
+        let trace = if trace_path.is_some() && i == combos.len() - 1 {
+            TraceMode::ring()
+        } else {
+            TraceMode::Off
+        };
         let cfg = EngineConfig {
             workers: 8,
             queue_capacity: 16,
             shards,
             seed: 7,
+            trace,
+            // hold every key in one leaf: the trace-side dependency
+            // reconstruction assumes no node split relocates an index
+            // entry mid-run (see `trace::analyze`)
+            fanout: 64,
             ..EngineConfig::default()
         };
         let out = oodb::engine::run_workload(&cfg, kind, &workload);
@@ -43,6 +72,23 @@ fn main() {
             verdict(audit.report.oo_global.is_ok()),
             verdict(audit.report.conventional.is_ok()),
         );
+        if let (Some(path), Some(log)) = (&trace_path, &out.trace) {
+            let chrome_path = format!("{path}.chrome.json");
+            std::fs::write(path, to_jsonl(log)).expect("write JSONL trace");
+            std::fs::write(&chrome_path, to_chrome_trace(log)).expect("write Chrome trace");
+            let check = oodb::engine::cross_check(&log.events, &audit);
+            println!(
+                "{:<22} trace: {} events ({} dropped) -> {path}, {chrome_path}",
+                "",
+                log.events.len(),
+                log.dropped
+            );
+            println!("{:<22} {check}\n", "");
+            assert!(
+                check.ok(),
+                "trace-reconstructed graph diverges from the audit: {check}"
+            );
+        }
     }
     println!(
         "Semantic locking retries only on true semantic conflicts; the\n\
