@@ -1,4 +1,11 @@
 //! Post-hoc serializability audit of an engine run.
+//!
+//! MVCC note: under snapshot execution (`OptimisticExec::Snapshot`)
+//! the recorded history still reflects the *physical* primitive order
+//! — reads hit the committed tree when issued, buffered writes are
+//! recorded at install time inside the commit critical section. The
+//! audit therefore needs no version awareness: version chains change
+//! *when* primitives execute, never what the record means.
 
 use crate::cc::ConcurrencyControl;
 use oodb_core::history::History;

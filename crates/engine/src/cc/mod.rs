@@ -16,10 +16,12 @@
 mod optimistic;
 mod pessimistic;
 mod sharded;
+pub mod versions;
 
 pub use optimistic::OptimisticCc;
 pub use pessimistic::PessimisticCc;
 pub use sharded::{shard_of_key, Shardable, ShardedCc, ShardedOptimisticCc, ShardedPessimisticCc};
+pub use versions::VersionStore;
 
 use crate::metrics::EngineMetrics;
 use crate::trace::Tracer;
@@ -156,6 +158,18 @@ pub trait ConcurrencyControl: Send + Sync {
     /// in which case a failed inverse is an engine bug and the worker
     /// asserts. Optimistic execution cannot promise this.
     fn strict_compensation(&self) -> bool {
+        false
+    }
+
+    /// True when this protocol runs MVCC snapshot execution: the worker
+    /// defers the attempt's write operations and, at the commit point,
+    /// installs them and certifies **atomically inside the database
+    /// critical section** (compensating there too if validation fails).
+    /// Uncommitted writes are therefore never visible to any other
+    /// transaction, so a buffering implementation must never answer
+    /// [`FinishOutcome::Wait`] — there is nothing unrecoverable to wait
+    /// for — and must never cascade aborts.
+    fn buffers_writes(&self) -> bool {
         false
     }
 

@@ -45,6 +45,7 @@ use super::{
     ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, OptimisticCc, PessimisticCc,
     ShardRoute, TxnHandle,
 };
+use crate::cc::versions::{self, VersionStore};
 use crate::trace::{CertOutcome, TraceEventKind};
 use oodb_core::certifier::{restrict_history, CertifierMode, CertifierStats};
 use oodb_core::commutativity::ActionDescriptor;
@@ -58,6 +59,7 @@ use oodb_sim::exec::{enc_lock_manager, op_descriptor, page_descriptor, ENC_RESOU
 use oodb_sim::EncOp;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 /// Stable FNV-1a hash of `key`, reduced mod `shards`. Hand-rolled so the
@@ -594,18 +596,37 @@ pub struct ShardedOptimisticCc {
     n: usize,
     mode: CertifierMode,
     faults: FaultPlan,
+    /// `Some` runs MVCC snapshot execution: writes buffer in the worker
+    /// and install at commit, so commit-dependency waits and cascading
+    /// aborts vanish (nobody ever reads uncommitted state).
+    snapshot: Option<VersionStore>,
     name: &'static str,
 }
 
 impl ShardedOptimisticCc {
     /// Certify against the paper's decentralized Definition 16 across
-    /// `shards` partitions.
+    /// `shards` partitions (legacy in-place execution).
     pub fn new(shards: usize) -> Self {
         Self::with_mode(shards, CertifierMode::Paper)
     }
 
-    /// Certify against the chosen serializability check.
+    /// Certify against the chosen serializability check (legacy
+    /// in-place execution).
     pub fn with_mode(shards: usize, mode: CertifierMode) -> Self {
+        Self::build(shards, mode, false)
+    }
+
+    /// MVCC snapshot execution with the paper's decentralized check.
+    pub fn snapshot(shards: usize) -> Self {
+        Self::snapshot_with_mode(shards, CertifierMode::Paper)
+    }
+
+    /// MVCC snapshot execution with the chosen serializability check.
+    pub fn snapshot_with_mode(shards: usize, mode: CertifierMode) -> Self {
+        Self::build(shards, mode, true)
+    }
+
+    fn build(shards: usize, mode: CertifierMode, snapshot: bool) -> Self {
         let n = shards.max(1);
         ShardedOptimisticCc {
             meta: Mutex::new(OptMeta {
@@ -615,11 +636,24 @@ impl ShardedOptimisticCc {
             n,
             mode,
             faults: FaultPlan::default(),
-            name: match mode {
-                CertifierMode::Paper => "sharded-optimistic",
-                CertifierMode::Global => "sharded-optimistic-global",
+            snapshot: snapshot.then(VersionStore::new),
+            name: match (snapshot, mode) {
+                (false, CertifierMode::Paper) => "sharded-optimistic",
+                (false, CertifierMode::Global) => "sharded-optimistic-global",
+                (true, CertifierMode::Paper) => "sharded-mvcc",
+                (true, CertifierMode::Global) => "sharded-mvcc-global",
             },
         }
+    }
+
+    /// True when this instance runs MVCC snapshot execution.
+    pub fn is_snapshot(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// The version store backing snapshot execution, when enabled.
+    pub fn version_store(&self) -> Option<&VersionStore> {
+        self.snapshot.as_ref()
     }
 
     /// Arm a mid-flight abort: attempt `attempt` of `job` aborts once
@@ -811,14 +845,21 @@ impl ShardedOptimisticCc {
         };
 
         // commit dependency: a live predecessor may still compensate
-        // state `me` built on — wait for it to finalize
-        let (preds, deps) = Self::incident_edges(ts, history, &plan.wait_scope, me);
-        if preds.iter().any(|p| plan.live_sharers.contains(p)) {
-            drop(held);
-            self.meta.lock().stats.waits += 1;
-            cert_event(CertOutcome::Wait);
-            return Ok(FinishOutcome::Wait);
-        }
+        // state `me` built on — wait for it to finalize. Snapshot mode
+        // skips the check (and the dooming edge inference below): writes
+        // buffer until commit, so no one ever reads uncommitted state.
+        let deps = if self.snapshot.is_some() {
+            Vec::new()
+        } else {
+            let (preds, deps) = Self::incident_edges(ts, history, &plan.wait_scope, me);
+            if preds.iter().any(|p| plan.live_sharers.contains(p)) {
+                drop(held);
+                self.meta.lock().stats.waits += 1;
+                cert_event(CertOutcome::Wait);
+                return Ok(FinishOutcome::Wait);
+            }
+            deps
+        };
 
         let ok = self.validate(ts, history, &plan.component);
 
@@ -844,6 +885,9 @@ impl ShardedOptimisticCc {
                 shared.metrics.cross_shard_inc();
             }
             drop(guard);
+            if let Some(store) = &self.snapshot {
+                versions::on_commit(store, shared, txn);
+            }
             cert_event(CertOutcome::Commit);
             Ok(FinishOutcome::Committed)
         } else {
@@ -851,7 +895,9 @@ impl ShardedOptimisticCc {
             guard.note_finalized(me, false);
             guard.touched.remove(&me);
             guard.stats.aborts += 1;
-            // doom everyone who read our soon-compensated effects
+            // doom everyone who read our soon-compensated effects (no one,
+            // in snapshot mode: `deps` is empty — the writes never left
+            // the worker's buffer)
             let mut doomed_now = Vec::new();
             for d in deps {
                 if guard.live.contains(&d) {
@@ -861,6 +907,10 @@ impl ShardedOptimisticCc {
             }
             drop(guard);
             cert_event(CertOutcome::Abort);
+            shared
+                .metrics
+                .cascade_dooms
+                .fetch_add(doomed_now.len() as u64, Ordering::Relaxed);
             for d in doomed_now {
                 shared
                     .trace
@@ -879,7 +929,7 @@ impl ConcurrencyControl for ShardedOptimisticCc {
     fn before_op(&self, shared: &EngineShared, txn: &TxnHandle, op: &EncOp) -> OpGrant {
         let targets = route_targets(self.route(op), self.n);
         let mut meta = self.meta.lock();
-        if meta.doomed.contains(&txn.txn) {
+        if self.snapshot.is_none() && meta.doomed.contains(&txn.txn) {
             return OpGrant::AbortVictim;
         }
         meta.note_begin(txn.txn);
@@ -888,6 +938,9 @@ impl ConcurrencyControl for ShardedOptimisticCc {
             .or_default()
             .extend(targets.iter().copied());
         drop(meta);
+        if let Some(store) = &self.snapshot {
+            store.note_op(txn.txn, op);
+        }
         for s in targets {
             shared.metrics.shard_op(s);
         }
@@ -895,7 +948,7 @@ impl ConcurrencyControl for ShardedOptimisticCc {
     }
 
     fn try_finish(&self, shared: &EngineShared, txn: &TxnHandle) -> FinishOutcome {
-        if self.meta.lock().doomed.contains(&txn.txn) {
+        if self.snapshot.is_none() && self.meta.lock().doomed.contains(&txn.txn) {
             return FinishOutcome::Abort;
         }
         let (ts, history) = shared.rec.snapshot();
@@ -912,6 +965,23 @@ impl ConcurrencyControl for ShardedOptimisticCc {
 
     fn after_abort(&self, shared: &EngineShared, txn: &TxnHandle) {
         let me = txn.txn;
+        if let Some(store) = &self.snapshot {
+            // nothing was published, so nothing can cascade; finalize the
+            // metadata bookkeeping and drop the buffered writes (the
+            // attempt may have aborted before its commit point: deadline,
+            // injected fault)
+            let mut meta = self.meta.lock();
+            if meta.live.contains(&me) {
+                meta.aborted.insert(me);
+                meta.note_finalized(me, false);
+                meta.stats.aborts += 1;
+                meta.touched.remove(&me);
+            }
+            meta.doomed.remove(&me);
+            drop(meta);
+            versions::on_abort(store, shared, txn);
+            return;
+        }
         let mut meta = self.meta.lock();
         let was_live = meta.live.contains(&me);
         let wait_scope = if was_live {
@@ -947,6 +1017,10 @@ impl ConcurrencyControl for ShardedOptimisticCc {
                 }
             }
             drop(meta);
+            shared
+                .metrics
+                .cascade_dooms
+                .fetch_add(doomed_now.len() as u64, Ordering::Relaxed);
             for d in doomed_now {
                 shared
                     .trace
@@ -968,7 +1042,18 @@ impl ConcurrencyControl for ShardedOptimisticCc {
     }
 
     fn is_doomed(&self, txn: &TxnHandle) -> bool {
-        self.meta.lock().doomed.contains(&txn.txn)
+        // snapshot mode never dooms: nothing uncommitted is ever visible
+        self.snapshot.is_none() && self.meta.lock().doomed.contains(&txn.txn)
+    }
+
+    fn strict_compensation(&self) -> bool {
+        // MVCC compensation runs inside the same database critical
+        // section as the install, so a failed inverse is an engine bug
+        self.snapshot.is_some()
+    }
+
+    fn buffers_writes(&self) -> bool {
+        self.snapshot.is_some()
     }
 
     fn committed_projection(&self, ts: &TransactionSystem, history: &History) -> Option<History> {
@@ -1012,7 +1097,11 @@ impl Shardable for OptimisticCc {
     type Sharded = ShardedOptimisticCc;
 
     fn sharded(&self, shards: usize) -> ShardedOptimisticCc {
-        ShardedOptimisticCc::with_mode(shards, self.mode())
+        if self.is_snapshot() {
+            ShardedOptimisticCc::snapshot_with_mode(shards, self.mode())
+        } else {
+            ShardedOptimisticCc::with_mode(shards, self.mode())
+        }
     }
 }
 
@@ -1078,6 +1167,12 @@ mod tests {
         assert_eq!(o.shards(), 8);
         let og = OptimisticCc::with_mode(CertifierMode::Global).sharded(2);
         assert_eq!(og.name(), "sharded-optimistic-global");
+        let m = OptimisticCc::snapshot().sharded(4);
+        assert_eq!(m.name(), "sharded-mvcc");
+        assert!(m.buffers_writes() && m.strict_compensation());
+        assert!(m.version_store().is_some());
+        let mg = OptimisticCc::snapshot_with_mode(CertifierMode::Global).sharded(2);
+        assert_eq!(mg.name(), "sharded-mvcc-global");
     }
 
     #[test]

@@ -33,6 +33,34 @@ impl CcKind {
     }
 }
 
+/// How [`CcKind::Optimistic`] transactions execute against shared state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimisticExec {
+    /// MVCC snapshot execution: writes are buffered per attempt and
+    /// installed at the commit point inside the database critical
+    /// section, atomically with certification; reads only ever observe
+    /// committed state. Uncommitted effects are never public, so
+    /// commit-dependency waits (`MustWait`) and cascading aborts are
+    /// structurally impossible.
+    #[default]
+    Snapshot,
+    /// Legacy in-place execution: subtransaction effects are public
+    /// immediately, so recoverability requires commit-dependency
+    /// tracking and aborts cascade through dependents. Kept as the
+    /// differential oracle and for the B12 ablation.
+    InPlace,
+}
+
+impl OptimisticExec {
+    /// Short lowercase label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptimisticExec::Snapshot => "mvcc",
+            OptimisticExec::InPlace => "in-place",
+        }
+    }
+}
+
 /// Where trace events go (see [`crate::trace`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TraceMode {
@@ -102,6 +130,10 @@ pub struct EngineConfig {
     /// default; [`TraceMode::ring`] captures events into per-worker
     /// ring buffers drained at shutdown.
     pub trace: TraceMode,
+    /// Execution mode for [`CcKind::Optimistic`]: MVCC snapshot
+    /// execution (the default) or the legacy in-place mode with
+    /// commit-dependency waits and cascading aborts.
+    pub optimistic_exec: OptimisticExec,
 }
 
 impl Default for EngineConfig {
@@ -118,6 +150,7 @@ impl Default for EngineConfig {
             shards: 1,
             audit: true,
             trace: TraceMode::Off,
+            optimistic_exec: OptimisticExec::Snapshot,
         }
     }
 }
@@ -139,5 +172,12 @@ mod tests {
         );
         assert_eq!(CcKind::default(), CcKind::Pessimistic);
         assert_eq!(CcKind::Optimistic.label(), "optimistic");
+        assert_eq!(
+            c.optimistic_exec,
+            OptimisticExec::Snapshot,
+            "snapshot execution is the optimistic default; in-place is the ablation"
+        );
+        assert_eq!(OptimisticExec::Snapshot.label(), "mvcc");
+        assert_eq!(OptimisticExec::InPlace.label(), "in-place");
     }
 }

@@ -48,9 +48,9 @@ pub use audit::{audit, AuditOutput, AuditScope};
 pub use cc::{
     shard_of_key, ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, OptimisticCc,
     PessimisticCc, ShardRoute, Shardable, ShardedCc, ShardedOptimisticCc, ShardedPessimisticCc,
-    TxnHandle,
+    TxnHandle, VersionStore,
 };
-pub use config::{CcKind, EngineConfig, TraceMode};
+pub use config::{CcKind, EngineConfig, OptimisticExec, TraceMode};
 pub use metrics::{EngineMetrics, Histogram, MetricsSnapshot, ShardLane, ShardLaneSnapshot};
 pub use queue::{Job, JobQueue};
 pub use trace::{
@@ -96,19 +96,25 @@ pub struct EngineOutput {
 impl Engine {
     /// Start an engine with one of the built-in strategies.
     /// [`EngineConfig::shards`] > 1 selects the sharded variant of the
-    /// chosen strategy (per-shard lock managers / committed sets).
+    /// chosen strategy (per-shard lock managers / committed sets), and
+    /// [`EngineConfig::optimistic_exec`] picks MVCC snapshot execution
+    /// (the default) or legacy in-place execution for the optimistic
+    /// strategies.
     pub fn start(cfg: EngineConfig, kind: CcKind) -> Engine {
         let shards = cfg.shards.max(1);
+        let mvcc = cfg.optimistic_exec == OptimisticExec::Snapshot;
         let cc: Arc<dyn ConcurrencyControl> = if shards > 1 {
             match kind {
                 CcKind::Pessimistic => Arc::new(ShardedPessimisticCc::semantic(shards)),
                 CcKind::PessimisticPage => Arc::new(ShardedPessimisticCc::page_level(shards)),
+                CcKind::Optimistic if mvcc => Arc::new(ShardedOptimisticCc::snapshot(shards)),
                 CcKind::Optimistic => Arc::new(ShardedOptimisticCc::new(shards)),
             }
         } else {
             match kind {
                 CcKind::Pessimistic => Arc::new(PessimisticCc::semantic()),
                 CcKind::PessimisticPage => Arc::new(PessimisticCc::page_level()),
+                CcKind::Optimistic if mvcc => Arc::new(OptimisticCc::snapshot()),
                 CcKind::Optimistic => Arc::new(OptimisticCc::new()),
             }
         };

@@ -148,6 +148,17 @@ pub struct EngineMetrics {
     pub shed: AtomicU64,
     /// Jobs dropped because their deadline passed before commit.
     pub deadline_expired: AtomicU64,
+    /// Commit-dependency wait rounds (`FinishOutcome::Wait` polls) —
+    /// the recoverability tax of in-place optimistic execution. Zero
+    /// by construction under MVCC snapshot execution.
+    pub commit_dep_waits: AtomicU64,
+    /// Live transactions doomed by a cascading abort. Zero by
+    /// construction under MVCC snapshot execution.
+    pub cascade_dooms: AtomicU64,
+    /// Committed versions installed by snapshot (MVCC) transactions.
+    pub version_installs: AtomicU64,
+    /// Versions reclaimed by watermark GC.
+    pub versions_gcd: AtomicU64,
     /// Current admission-queue depth (gauge). Shared with the
     /// [`JobQueue`](crate::JobQueue), which keeps it current on every
     /// push, pop, and shed — not just when a worker happens to pop.
@@ -180,6 +191,10 @@ impl EngineMetrics {
             retries: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
+            commit_dep_waits: AtomicU64::new(0),
+            cascade_dooms: AtomicU64::new(0),
+            version_installs: AtomicU64::new(0),
+            versions_gcd: AtomicU64::new(0),
             queue_depth: Arc::new(AtomicUsize::new(0)),
             lock_wait: Histogram::default(),
             e2e: Histogram::default(),
@@ -235,6 +250,10 @@ impl EngineMetrics {
             retries: self.retries.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            commit_dep_waits: self.commit_dep_waits.load(Ordering::Relaxed),
+            cascade_dooms: self.cascade_dooms.load(Ordering::Relaxed),
+            version_installs: self.version_installs.load(Ordering::Relaxed),
+            versions_gcd: self.versions_gcd.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             throughput_per_sec: committed as f64 / elapsed.as_secs_f64().max(1e-9),
             lock_wait_p50: self.lock_wait.quantile(0.50),
@@ -272,6 +291,14 @@ pub struct MetricsSnapshot {
     pub shed: u64,
     /// Jobs dropped on deadline expiry.
     pub deadline_expired: u64,
+    /// Commit-dependency wait rounds (zero under MVCC).
+    pub commit_dep_waits: u64,
+    /// Cascading-abort victims doomed (zero under MVCC).
+    pub cascade_dooms: u64,
+    /// Committed versions installed by snapshot transactions.
+    pub version_installs: u64,
+    /// Versions reclaimed by watermark GC.
+    pub versions_gcd: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Committed transactions per second since engine start.
@@ -298,6 +325,10 @@ impl MetricsSnapshot {
         let _ = write!(s, "\"retries\":{},", self.retries);
         let _ = write!(s, "\"shed\":{},", self.shed);
         let _ = write!(s, "\"deadline_expired\":{},", self.deadline_expired);
+        let _ = write!(s, "\"commit_dep_waits\":{},", self.commit_dep_waits);
+        let _ = write!(s, "\"cascade_dooms\":{},", self.cascade_dooms);
+        let _ = write!(s, "\"version_installs\":{},", self.version_installs);
+        let _ = write!(s, "\"versions_gcd\":{},", self.versions_gcd);
         let _ = write!(s, "\"queue_depth\":{},", self.queue_depth);
         let _ = write!(s, "\"throughput_per_sec\":{:.3},", self.throughput_per_sec);
         let _ = write!(s, "\"lock_wait_p50_ns\":{},", self.lock_wait_p50.as_nanos());
@@ -339,6 +370,20 @@ impl std::fmt::Display for MetricsSnapshot {
             self.e2e_p50,
             self.e2e_p99,
         )?;
+        if self.commit_dep_waits > 0 || self.cascade_dooms > 0 {
+            write!(
+                f,
+                " dep-waits {} cascades {}",
+                self.commit_dep_waits, self.cascade_dooms
+            )?;
+        }
+        if self.version_installs > 0 {
+            write!(
+                f,
+                " versions {} (gc'd {})",
+                self.version_installs, self.versions_gcd
+            )?;
+        }
         if !self.shards.is_empty() {
             let ops: Vec<u64> = self.shards.iter().map(|s| s.ops).collect();
             write!(f, " cross-shard {} shard-ops {:?}", self.cross_shard, ops)?;
@@ -426,6 +471,10 @@ mod tests {
             "\"retries\":",
             "\"shed\":",
             "\"deadline_expired\":",
+            "\"commit_dep_waits\":",
+            "\"cascade_dooms\":",
+            "\"version_installs\":",
+            "\"versions_gcd\":",
             "\"queue_depth\":",
             "\"throughput_per_sec\":",
             "\"lock_wait_p50_ns\":",

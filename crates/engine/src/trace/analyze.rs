@@ -63,6 +63,13 @@
 //! size `fanout` and their key spaces to stay inside this regime; a
 //! workload that outgrows it makes [`cross_check`] report the
 //! (spurious) extra trace edges rather than silently diverging.
+//!
+//! MVCC runs need no special handling: buffered writes emit their
+//! `OpGranted` events with seqs claimed inside the commit critical
+//! section (exactly like compensations), so the seq order *is* the
+//! physical install order, and the `VersionInstall` / `VersionGc`
+//! bookkeeping events carry no dependency information — the analyzer
+//! ignores them.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 

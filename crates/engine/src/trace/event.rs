@@ -190,6 +190,24 @@ pub enum TraceEventKind {
         /// Transaction number of the doomed dependent.
         victim: u64,
     },
+    /// A snapshot (MVCC) transaction installed its buffered writes as
+    /// committed versions at its commit timestamp. Emitted from the
+    /// commit point, after certification succeeded.
+    VersionInstall {
+        /// Number of versions installed (one per buffered write key).
+        versions: usize,
+        /// The commit timestamp the versions were stamped with.
+        commit_ts: u64,
+    },
+    /// Watermark-driven version garbage collection ran when a snapshot
+    /// transaction finalized.
+    VersionGc {
+        /// Versions reclaimed in this pass (0 passes are not emitted).
+        collected: usize,
+        /// The watermark: the oldest begin timestamp any live snapshot
+        /// still holds.
+        watermark: u64,
+    },
     /// The worker compensated this attempt's completed operations.
     Compensated {
         /// How many forward operations had completed.
@@ -223,6 +241,8 @@ impl TraceEventKind {
             TraceEventKind::CertAttempt { .. } => "cert_attempt",
             TraceEventKind::CommitDepWait { .. } => "commit_dep_wait",
             TraceEventKind::CascadeDoom { .. } => "cascade_doom",
+            TraceEventKind::VersionInstall { .. } => "version_install",
+            TraceEventKind::VersionGc { .. } => "version_gc",
             TraceEventKind::Compensated { .. } => "compensated",
             TraceEventKind::Committed => "committed",
             TraceEventKind::Aborted { .. } => "aborted",
@@ -299,6 +319,22 @@ mod tests {
             }
             .name(),
             "op_granted"
+        );
+        assert_eq!(
+            TraceEventKind::VersionInstall {
+                versions: 2,
+                commit_ts: 7,
+            }
+            .name(),
+            "version_install"
+        );
+        assert_eq!(
+            TraceEventKind::VersionGc {
+                collected: 1,
+                watermark: 7,
+            }
+            .name(),
+            "version_gc"
         );
     }
 

@@ -100,6 +100,20 @@ fn payload(out: &mut String, kind: &TraceEventKind, timing: bool) {
         }
         TraceEventKind::CommitDepWait { round } => put_u64(out, "round", *round as u64),
         TraceEventKind::CascadeDoom { victim } => put_u64(out, "victim", *victim),
+        TraceEventKind::VersionInstall {
+            versions,
+            commit_ts,
+        } => {
+            put_u64(out, "versions", *versions as u64);
+            put_u64(out, "commit_ts", *commit_ts);
+        }
+        TraceEventKind::VersionGc {
+            collected,
+            watermark,
+        } => {
+            put_u64(out, "collected", *collected as u64);
+            put_u64(out, "watermark", *watermark);
+        }
         TraceEventKind::Compensated { ops } => put_u64(out, "ops", *ops as u64),
         TraceEventKind::Committed => {}
         TraceEventKind::Aborted { reason, last } => {

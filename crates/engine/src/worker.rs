@@ -8,6 +8,7 @@ use crate::queue::{Job, JobQueue};
 use crate::trace::{AbortReason, TraceEventKind, TXN_NONE};
 use oodb_core::ids::TxnIdx;
 use oodb_lock::OwnerId;
+use oodb_model::TxnCtx;
 use oodb_sim::exec::apply_op;
 use oodb_sim::EncOp;
 use rand::{Rng, SeedableRng};
@@ -53,6 +54,92 @@ fn inverse_op(inv: &oodb_core::compensation::Inverse) -> Option<EncOp> {
         "delete" => Some(EncOp::Delete(k)),
         _ => None,
     }
+}
+
+/// True for operations that mutate the encyclopedia — the ones MVCC
+/// snapshot execution defers to the commit point.
+fn is_write(op: &EncOp) -> bool {
+    matches!(op, EncOp::Insert(_) | EncOp::Change(_) | EncOp::Delete(_))
+}
+
+/// MVCC commit point: install the attempt's buffered writes, certify,
+/// and commit — or compensate — all inside ONE database critical
+/// section. Uncommitted writes are therefore never visible to any other
+/// transaction: there is nothing unrecoverable to wait for (no commit
+/// dependencies) and nothing to cascade. `Err` carries the compensation
+/// trace events — the writes were already rolled back under the same
+/// lock, so the abort tail must not compensate again.
+fn mvcc_commit(
+    shared: &EngineShared,
+    cc: &dyn ConcurrencyControl,
+    handle: &TxnHandle,
+    mut ctx: TxnCtx,
+    buffered: &[EncOp],
+    job: &Job,
+    base: &str,
+) -> Result<(), Vec<(u64, EncOp, bool)>> {
+    let mut enc = shared.enc.lock();
+    // install: seqs claimed inside the critical section, so OpGranted
+    // order still equals recorded history order (the trace invariant)
+    let mut installs = Vec::new();
+    for op in buffered {
+        let seq = shared.trace.enabled().then(|| shared.trace.claim_seq());
+        let hit = apply_op(&mut enc, &mut ctx, op, job.id.wrapping_add(1) as usize);
+        if let Some(seq) = seq {
+            installs.push((seq, op.clone(), hit));
+        }
+    }
+    let result = match cc.try_finish(shared, handle) {
+        FinishOutcome::Committed => {
+            enc.commit(ctx);
+            drop(enc);
+            Ok(())
+        }
+        FinishOutcome::Wait => {
+            unreachable!("a buffering protocol must never answer Wait")
+        }
+        FinishOutcome::Abort => {
+            let mut comp = shared
+                .rec
+                .begin_txn(format!("C({base}a{})", handle.attempt));
+            let report = enc.abort(ctx, &mut comp);
+            assert!(
+                report.failed.is_empty(),
+                "compensation inside the install critical section cannot fail: {:?}",
+                report.failed
+            );
+            let comp_events = if shared.trace.enabled() {
+                report
+                    .compensated
+                    .iter()
+                    .filter_map(|inv| {
+                        let op = inverse_op(inv)?;
+                        Some((shared.trace.claim_seq(), op, true))
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            drop(enc);
+            Err(comp_events)
+        }
+    };
+    for (seq, op, hit) in installs {
+        let shard = cc.route(&op).into();
+        shared.trace.emit_at(
+            seq,
+            handle.job,
+            handle.attempt,
+            handle.owner.0 as u32,
+            TraceEventKind::OpGranted {
+                op,
+                shard,
+                wait_ns: 0,
+                hit,
+            },
+        );
+    }
+    result
 }
 
 /// Worker body: drain the queue until it is closed and empty.
@@ -107,18 +194,28 @@ pub(crate) fn process_job(
         } else {
             format!("{base}r{attempt}")
         };
-        let mut ctx = shared.rec.begin_txn(name);
+        let attempt_ctx = shared.rec.begin_txn(name);
+        let txn_number = attempt_ctx.txn_number();
+        let mut ctx = Some(attempt_ctx);
         let handle = TxnHandle {
             job: job.id,
             attempt,
-            txn: TxnIdx(ctx.txn_number()),
-            owner: OwnerId(u64::from(ctx.txn_number())),
+            txn: TxnIdx(txn_number),
+            owner: OwnerId(u64::from(txn_number)),
         };
         shared
             .trace
             .emit_txn(&handle, || TraceEventKind::AttemptBegin {
                 ops: job.ops.len(),
             });
+
+        // MVCC snapshot execution: writes stay in this buffer until the
+        // commit point instead of executing in place
+        let buffering = cc.buffers_writes();
+        let mut buffered: Vec<EncOp> = Vec::new();
+        // compensation already performed (and traced) inside the MVCC
+        // commit critical section — the abort tail must not repeat it
+        let mut comp_done: Option<Vec<(u64, EncOp, bool)>> = None;
 
         let mut aborting = false;
         let mut reason = AbortReason::Victim;
@@ -137,30 +234,41 @@ pub(crate) fn process_job(
             }
             match grant {
                 OpGrant::Granted => {
-                    // the op's trace seq is claimed INSIDE the database
-                    // critical section, so seq order over OpGranted
-                    // events equals the recorded history order — the
-                    // invariant trace::analyze rebuilds the dependency
-                    // graph from
-                    let (seq, hit) = {
-                        let mut enc = shared.enc.lock();
-                        let seq = shared.trace.enabled().then(|| shared.trace.claim_seq());
-                        let hit = apply_op(&mut enc, &mut ctx, op, job.id.wrapping_add(1) as usize);
-                        (seq, hit)
-                    };
-                    if let Some(seq) = seq {
-                        shared.trace.emit_at(
-                            seq,
-                            handle.job,
-                            handle.attempt,
-                            handle.owner.0 as u32,
-                            TraceEventKind::OpGranted {
-                                op: op.clone(),
-                                shard: cc.route(op).into(),
-                                wait_ns: waited.as_nanos() as u64,
-                                hit,
-                            },
-                        );
+                    if buffering && is_write(op) {
+                        // deferred: installs at the commit point, inside
+                        // the same critical section as certification
+                        buffered.push(op.clone());
+                    } else {
+                        // the op's trace seq is claimed INSIDE the database
+                        // critical section, so seq order over OpGranted
+                        // events equals the recorded history order — the
+                        // invariant trace::analyze rebuilds the dependency
+                        // graph from
+                        let (seq, hit) = {
+                            let mut enc = shared.enc.lock();
+                            let seq = shared.trace.enabled().then(|| shared.trace.claim_seq());
+                            let hit = apply_op(
+                                &mut enc,
+                                ctx.as_mut().expect("attempt ctx live during ops"),
+                                op,
+                                job.id.wrapping_add(1) as usize,
+                            );
+                            (seq, hit)
+                        };
+                        if let Some(seq) = seq {
+                            shared.trace.emit_at(
+                                seq,
+                                handle.job,
+                                handle.attempt,
+                                handle.owner.0 as u32,
+                                TraceEventKind::OpGranted {
+                                    op: op.clone(),
+                                    shard: cc.route(op).into(),
+                                    wait_ns: waited.as_nanos() as u64,
+                                    hit,
+                                },
+                            );
+                        }
                     }
                 }
                 OpGrant::AbortVictim => {
@@ -179,7 +287,32 @@ pub(crate) fn process_job(
             }
         }
 
-        if !aborting {
+        if !aborting && buffering {
+            // MVCC commit point: install + certify + commit (or
+            // compensate) atomically; never waits, never cascades
+            if past(job.deadline) {
+                aborting = true;
+                reason = AbortReason::Deadline;
+            } else {
+                let attempt_ctx = ctx.take().expect("attempt ctx live at commit point");
+                match mvcc_commit(shared, cc, &handle, attempt_ctx, &buffered, job, &base) {
+                    Ok(()) => {
+                        cc.after_commit(shared, &handle);
+                        if record_metrics {
+                            shared.metrics.committed.fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.e2e.record(job.submitted_at.elapsed());
+                        }
+                        shared.trace.emit_txn(&handle, || TraceEventKind::Committed);
+                        return;
+                    }
+                    Err(comp_events) => {
+                        aborting = true;
+                        reason = AbortReason::Validation;
+                        comp_done = Some(comp_events);
+                    }
+                }
+            }
+        } else if !aborting {
             // commit point: poll the protocol, bounding wait rounds so
             // mutual commit-dependency cycles break (the caps differ per
             // owner, so exactly one side of a symmetric cycle gives up
@@ -194,7 +327,10 @@ pub(crate) fn process_job(
                 }
                 match cc.try_finish(shared, &handle) {
                     FinishOutcome::Committed => {
-                        shared.enc.lock().commit(ctx);
+                        shared
+                            .enc
+                            .lock()
+                            .commit(ctx.take().expect("attempt ctx live at commit"));
                         cc.after_commit(shared, &handle);
                         if record_metrics {
                             shared.metrics.committed.fetch_add(1, Ordering::Relaxed);
@@ -205,6 +341,12 @@ pub(crate) fn process_job(
                     }
                     FinishOutcome::Wait => {
                         rounds += 1;
+                        if record_metrics {
+                            shared
+                                .metrics
+                                .commit_dep_waits
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
                         shared
                             .trace
                             .emit_txn(&handle, || TraceEventKind::CommitDepWait { round: rounds });
@@ -230,11 +372,14 @@ pub(crate) fn process_job(
 
         debug_assert!(aborting);
         // compensate this attempt's completed operations in reverse
-        // order, then let the protocol release/cascade
-        let comp_events = {
+        // order, then let the protocol release/cascade — unless the MVCC
+        // commit path already compensated under its critical section
+        let comp_events = if let Some(events) = comp_done.take() {
+            events
+        } else {
             let mut enc = shared.enc.lock();
             let mut comp = shared.rec.begin_txn(format!("C({base}a{attempt})"));
-            let report = enc.abort(ctx, &mut comp);
+            let report = enc.abort(ctx.take().expect("attempt ctx live at abort"), &mut comp);
             if cc.strict_compensation() {
                 assert!(
                     report.failed.is_empty(),

@@ -11,8 +11,13 @@
 //! states no matter how their retries, victim choices, and shard
 //! routings differ. Any divergence is a lost update, an orphaned
 //! compensation, or a routing hole.
+//!
+//! A third oracle pits MVCC snapshot execution against both strict 2PL
+//! and legacy in-place optimistic certification, additionally pinning
+//! the MVCC guarantee that commit-dependency waits and cascading aborts
+//! cannot occur (uncommitted writes are never visible).
 
-use oodb_engine::{AuditScope, CcKind, EngineConfig, EngineOutput};
+use oodb_engine::{AuditScope, CcKind, EngineConfig, EngineOutput, OptimisticExec};
 use oodb_sim::EncOp;
 use proptest::prelude::*;
 
@@ -77,13 +82,14 @@ fn materialize(w: &Workload) -> (Vec<String>, Vec<Vec<EncOp>>) {
     (preload, ops)
 }
 
-fn run(w: &Workload, kind: CcKind, shards: usize) -> EngineOutput {
+fn run(w: &Workload, kind: CcKind, shards: usize, exec: OptimisticExec) -> EngineOutput {
     let (preload, txns) = materialize(w);
     let cfg = EngineConfig {
         workers: 4,
         queue_capacity: 16,
         shards,
         seed: w.seed,
+        optimistic_exec: exec,
         ..EngineConfig::default()
     };
     let engine = oodb_engine::Engine::start(cfg, kind);
@@ -121,10 +127,10 @@ proptest! {
     /// on the final object state.
     #[test]
     fn sharded_and_single_shard_agree(w in workload()) {
-        let opt1 = run(&w, CcKind::Optimistic, 1);
-        let opt4 = run(&w, CcKind::Optimistic, 4);
-        let pes1 = run(&w, CcKind::Pessimistic, 1);
-        let pes4 = run(&w, CcKind::Pessimistic, 4);
+        let opt1 = run(&w, CcKind::Optimistic, 1, OptimisticExec::InPlace);
+        let opt4 = run(&w, CcKind::Optimistic, 4, OptimisticExec::InPlace);
+        let pes1 = run(&w, CcKind::Pessimistic, 1, OptimisticExec::InPlace);
+        let pes4 = run(&w, CcKind::Pessimistic, 4, OptimisticExec::InPlace);
         check_one(&opt1, &w, "optimistic/1")?;
         check_one(&opt4, &w, "sharded-optimistic/4")?;
         check_one(&pes1, &w, "pessimistic/1")?;
@@ -161,13 +167,47 @@ proptest! {
             .map(|(t, &c)| vec![(c, 0), (4, (t + 1) % 6), (4, (t + 2) % 6)])
             .collect();
         let w = Workload { txns, seed };
-        let opt1 = run(&w, CcKind::Optimistic, 1);
-        let opt3 = run(&w, CcKind::Optimistic, 3);
-        let pes3 = run(&w, CcKind::Pessimistic, 3);
+        let opt1 = run(&w, CcKind::Optimistic, 1, OptimisticExec::InPlace);
+        let opt3 = run(&w, CcKind::Optimistic, 3, OptimisticExec::InPlace);
+        let pes3 = run(&w, CcKind::Pessimistic, 3, OptimisticExec::InPlace);
         check_one(&opt1, &w, "optimistic/1")?;
         check_one(&opt3, &w, "sharded-optimistic/3")?;
         check_one(&pes3, &w, "sharded-pessimistic/3")?;
         prop_assert_eq!(&opt3.final_state, &opt1.final_state);
         prop_assert_eq!(&pes3.final_state, &opt1.final_state);
+    }
+
+    /// MVCC snapshot execution against two independent oracles: strict
+    /// 2PL and legacy in-place optimistic certification. All runs must
+    /// pass the (committed-projection) audit and agree bit-for-bit on
+    /// the final object state — and the MVCC runs must exhibit **zero**
+    /// commit-dependency waits and **zero** cascading dooms, since no
+    /// transaction can ever observe uncommitted state.
+    #[test]
+    fn mvcc_agrees_with_2pl_and_legacy_optimistic(w in workload()) {
+        let mvcc1 = run(&w, CcKind::Optimistic, 1, OptimisticExec::Snapshot);
+        let mvcc4 = run(&w, CcKind::Optimistic, 4, OptimisticExec::Snapshot);
+        let legacy = run(&w, CcKind::Optimistic, 1, OptimisticExec::InPlace);
+        let pess = run(&w, CcKind::Pessimistic, 1, OptimisticExec::Snapshot);
+        check_one(&mvcc1, &w, "mvcc/1")?;
+        check_one(&mvcc4, &w, "sharded-mvcc/4")?;
+        check_one(&legacy, &w, "optimistic/1")?;
+        check_one(&pess, &w, "pessimistic/1")?;
+        prop_assert_eq!(mvcc1.cc_name, "mvcc");
+        prop_assert_eq!(mvcc4.cc_name, "sharded-mvcc");
+        prop_assert_eq!(legacy.cc_name, "optimistic");
+        prop_assert_eq!(&mvcc1.final_state, &pess.final_state,
+            "MVCC diverged from the 2PL oracle");
+        prop_assert_eq!(&mvcc4.final_state, &pess.final_state,
+            "sharded MVCC diverged from the 2PL oracle");
+        prop_assert_eq!(&mvcc1.final_state, &legacy.final_state,
+            "MVCC diverged from the legacy in-place optimistic oracle");
+        for (out, label) in [(&mvcc1, "mvcc/1"), (&mvcc4, "sharded-mvcc/4")] {
+            prop_assert_eq!(out.metrics.commit_dep_waits, 0,
+                "{}: snapshot execution must never wait on a commit dependency", label);
+            prop_assert_eq!(out.metrics.cascade_dooms, 0,
+                "{}: snapshot execution must never cascade an abort", label);
+            prop_assert_eq!(out.audit.as_ref().unwrap().scope, AuditScope::CommittedOnly);
+        }
     }
 }

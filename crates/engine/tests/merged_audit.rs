@@ -123,6 +123,24 @@ fn sharded_pessimistic_audits_the_full_record() {
         names.iter().any(|n| n.starts_with("C(J1a0)")),
         "and the compensation: {names:?}"
     );
-    // full record: every top-level transaction is in the audited history
-    assert_eq!(audit.audited_txns().len(), audit.ts.top_level().len());
+    // full record: every top-level transaction that recorded a primitive
+    // is in the audited history. (A wounded attempt can abort before its
+    // first operation — that transaction is empty, and no primitive-keyed
+    // history can contain it, so the comparison skips it. Virtual
+    // primitives added by the Definition 5 extension don't count: they
+    // are ts-side duplicates, never history entries; nor does the root
+    // itself, which is a childless leaf for an empty transaction.)
+    let non_empty = audit
+        .ts
+        .top_level()
+        .iter()
+        .filter(|&&root| {
+            audit
+                .ts
+                .primitive_descendants(root)
+                .iter()
+                .any(|&p| p != root && !audit.ts.action(p).is_virtual)
+        })
+        .count();
+    assert_eq!(audit.audited_txns().len(), non_empty);
 }

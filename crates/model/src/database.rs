@@ -12,6 +12,7 @@
 
 use crate::recorder::{Recorder, TxnCtx};
 use crate::types::{TypeError, TypeRegistry};
+use crate::versions::VersionChain;
 use oodb_core::commutativity::ActionDescriptor;
 use oodb_core::value::Value;
 use std::collections::HashMap;
@@ -143,11 +144,37 @@ where
 }
 
 /// One object instance: its type and its property state.
+///
+/// Property state is stored as per-property committed
+/// [`VersionChain`]s: the newest version is the legacy in-place view
+/// ([`Database::get_prop`]), while snapshot transactions resolve the
+/// newest version no newer than their begin timestamp.
 #[derive(Debug, Clone, Default)]
 pub struct Instance {
     /// The instance's type name.
     pub type_name: String,
-    props: HashMap<String, Value>,
+    props: HashMap<String, VersionChain<Value>>,
+}
+
+impl Instance {
+    /// The full committed version chain of `property`, if any version
+    /// was ever installed.
+    pub fn prop_versions(&self, property: &str) -> Option<&VersionChain<Value>> {
+        self.props.get(property)
+    }
+}
+
+/// Token naming a live snapshot transaction in a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SnapshotId(u64);
+
+/// The buffered, transaction-private state of one live snapshot
+/// transaction: its begin timestamp plus its uncommitted writes
+/// (visible to the writer, invisible to everyone else until commit).
+#[derive(Debug, Default)]
+struct SnapshotTxn {
+    begin: u64,
+    writes: HashMap<(String, String), Value>,
 }
 
 /// The database: a schema, the instances, and the recorder wiring every
@@ -156,6 +183,13 @@ pub struct Database {
     types: TypeRegistry,
     instances: HashMap<String, Instance>,
     recorder: Recorder,
+    /// Monotone commit clock stamping installed versions.
+    clock: u64,
+    /// Live snapshot transactions, by token.
+    snapshots: HashMap<SnapshotId, SnapshotTxn>,
+    next_snapshot: u64,
+    /// Cumulative count of versions reclaimed by watermark GC.
+    versions_collected: u64,
 }
 
 impl Database {
@@ -165,6 +199,10 @@ impl Database {
             types,
             instances: HashMap::new(),
             recorder,
+            clock: 0,
+            snapshots: HashMap::new(),
+            next_snapshot: 0,
+            versions_collected: 0,
         }
     }
 
@@ -200,7 +238,8 @@ impl Database {
     }
 
     /// Read a property of an object (no recording; use from method bodies
-    /// that are themselves recorded).
+    /// that are themselves recorded). Reads the newest committed
+    /// version — the legacy in-place view.
     pub fn get_prop(&self, object: &str, property: &str) -> Result<Value, ModelError> {
         let inst = self
             .instances
@@ -208,6 +247,7 @@ impl Database {
             .ok_or_else(|| ModelError::UnknownObject(object.to_owned()))?;
         inst.props
             .get(property)
+            .and_then(VersionChain::latest)
             .cloned()
             .ok_or_else(|| ModelError::UnknownProperty {
                 object: object.to_owned(),
@@ -220,7 +260,11 @@ impl Database {
         self.get_prop(object, property).unwrap_or(default)
     }
 
-    /// Write a property of an object.
+    /// Write a property of an object. Installs a new version at a
+    /// bumped commit stamp, so the write is immediately visible to
+    /// [`Database::get_prop`] (legacy in-place semantics) while
+    /// snapshot transactions that began earlier keep resolving the
+    /// version they started with.
     pub fn set_prop(
         &mut self,
         object: &str,
@@ -231,8 +275,155 @@ impl Database {
             .instances
             .get_mut(object)
             .ok_or_else(|| ModelError::UnknownObject(object.to_owned()))?;
-        inst.props.insert(property.into(), value);
+        self.clock += 1;
+        inst.props
+            .entry(property.into())
+            .or_default()
+            .install(self.clock, value);
         Ok(())
+    }
+
+    // ----- snapshot transactions ---------------------------------------
+
+    /// Begin a snapshot transaction: it observes the committed state as
+    /// of now (its begin timestamp) plus its own buffered writes, and
+    /// publishes nothing until [`Database::commit_snapshot`].
+    pub fn begin_snapshot(&mut self) -> SnapshotId {
+        let id = SnapshotId(self.next_snapshot);
+        self.next_snapshot += 1;
+        self.snapshots.insert(
+            id,
+            SnapshotTxn {
+                begin: self.clock,
+                writes: HashMap::new(),
+            },
+        );
+        id
+    }
+
+    /// Read a property within snapshot `snap`: the transaction's own
+    /// buffered write if it has one, else the newest version committed
+    /// at or before the snapshot's begin timestamp.
+    pub fn snapshot_get(
+        &self,
+        snap: SnapshotId,
+        object: &str,
+        property: &str,
+    ) -> Result<Value, ModelError> {
+        let txn = self.snapshots.get(&snap).expect("live snapshot");
+        if let Some(v) = txn.writes.get(&(object.to_owned(), property.to_owned())) {
+            return Ok(v.clone());
+        }
+        let inst = self
+            .instances
+            .get(object)
+            .ok_or_else(|| ModelError::UnknownObject(object.to_owned()))?;
+        inst.props
+            .get(property)
+            .and_then(|chain| chain.resolve(txn.begin))
+            .cloned()
+            .ok_or_else(|| ModelError::UnknownProperty {
+                object: object.to_owned(),
+                property: property.to_owned(),
+            })
+    }
+
+    /// Write a property within snapshot `snap`. The write is buffered
+    /// in the transaction's private delta: the writer sees it through
+    /// [`Database::snapshot_get`], nobody else does.
+    pub fn snapshot_set(
+        &mut self,
+        snap: SnapshotId,
+        object: &str,
+        property: impl Into<String>,
+        value: Value,
+    ) -> Result<(), ModelError> {
+        if !self.instances.contains_key(object) {
+            return Err(ModelError::UnknownObject(object.to_owned()));
+        }
+        let txn = self.snapshots.get_mut(&snap).expect("live snapshot");
+        txn.writes
+            .insert((object.to_owned(), property.into()), value);
+        Ok(())
+    }
+
+    /// Commit snapshot `snap`: install every buffered write as a
+    /// committed version at one fresh commit timestamp (the single
+    /// commit point), then garbage-collect versions no longer visible
+    /// to any live snapshot. Returns the commit timestamp, or `None`
+    /// if the transaction wrote nothing.
+    pub fn commit_snapshot(&mut self, snap: SnapshotId) -> Option<u64> {
+        let txn = self.snapshots.remove(&snap).expect("live snapshot");
+        let commit_ts = if txn.writes.is_empty() {
+            None
+        } else {
+            self.clock += 1;
+            for ((object, property), value) in txn.writes {
+                if let Some(inst) = self.instances.get_mut(&object) {
+                    inst.props
+                        .entry(property)
+                        .or_default()
+                        .install(self.clock, value);
+                }
+            }
+            Some(self.clock)
+        };
+        self.gc_versions();
+        commit_ts
+    }
+
+    /// Abort snapshot `snap`: discard its buffered writes (nothing was
+    /// ever published, so there is nothing to undo) and reclaim
+    /// versions it was keeping alive.
+    pub fn abort_snapshot(&mut self, snap: SnapshotId) {
+        self.snapshots.remove(&snap).expect("live snapshot");
+        self.gc_versions();
+    }
+
+    /// The GC watermark: the oldest begin timestamp of any live
+    /// snapshot, or the current clock when none are live. Every version
+    /// shadowed below the watermark is invisible to all current and
+    /// future transactions.
+    pub fn watermark(&self) -> u64 {
+        self.snapshots
+            .values()
+            .map(|t| t.begin)
+            .min()
+            .unwrap_or(self.clock)
+    }
+
+    /// Drop every version no snapshot can resolve anymore. Returns the
+    /// number collected in this pass.
+    pub fn gc_versions(&mut self) -> u64 {
+        let watermark = self.watermark();
+        let mut collected = 0u64;
+        for inst in self.instances.values_mut() {
+            for chain in inst.props.values_mut() {
+                collected += chain.gc(watermark) as u64;
+            }
+        }
+        self.versions_collected += collected;
+        collected
+    }
+
+    /// Cumulative versions reclaimed by GC over the database's life.
+    pub fn versions_collected(&self) -> u64 {
+        self.versions_collected
+    }
+
+    /// Total retained versions across all properties (for tests and
+    /// observability).
+    pub fn version_count(&self) -> usize {
+        self.instances
+            .values()
+            .flat_map(|i| i.props.values())
+            .map(VersionChain::len)
+            .sum()
+    }
+
+    /// The instance named `name`, for version-chain inspection.
+    pub fn instance(&self, name: &str) -> Option<&Instance> {
+        self.instances.get(name)
     }
 
     /// Send the message `object.method(args)` within transaction `ctx`.
@@ -444,6 +635,88 @@ mod tests {
             Err(ModelError::Type(TypeError::UnknownMethod { .. }))
         ));
         drop(t);
+    }
+
+    #[test]
+    fn snapshot_readers_see_begin_state_writers_see_own_writes() {
+        let rec = Recorder::new();
+        let mut db = Database::new(account_schema(), rec);
+        db.create("acc", "Account").unwrap();
+        db.set_prop("acc", "balance", Value::Int(100)).unwrap();
+
+        let reader = db.begin_snapshot();
+        let writer = db.begin_snapshot();
+        // the writer buffers: it sees its own write, the reader and the
+        // legacy view do not
+        db.snapshot_set(writer, "acc", "balance", Value::Int(250))
+            .unwrap();
+        assert_eq!(
+            db.snapshot_get(writer, "acc", "balance").unwrap(),
+            Value::Int(250)
+        );
+        assert_eq!(
+            db.snapshot_get(reader, "acc", "balance").unwrap(),
+            Value::Int(100)
+        );
+        assert_eq!(db.get_prop("acc", "balance").unwrap(), Value::Int(100));
+
+        // after the writer commits, the reader still resolves its begin
+        // snapshot; new snapshots and the legacy view see the commit
+        let ts = db.commit_snapshot(writer).expect("wrote something");
+        assert_eq!(
+            db.snapshot_get(reader, "acc", "balance").unwrap(),
+            Value::Int(100)
+        );
+        assert_eq!(db.get_prop("acc", "balance").unwrap(), Value::Int(250));
+        let late = db.begin_snapshot();
+        assert_eq!(
+            db.snapshot_get(late, "acc", "balance").unwrap(),
+            Value::Int(250)
+        );
+        // boundary: a snapshot beginning exactly at the commit stamp
+        // sees the committed version
+        assert!(ts > 0);
+        db.abort_snapshot(late);
+        db.abort_snapshot(reader);
+    }
+
+    #[test]
+    fn gc_never_collects_a_version_a_live_snapshot_resolves() {
+        let rec = Recorder::new();
+        let mut db = Database::new(account_schema(), rec);
+        db.create("acc", "Account").unwrap();
+        db.set_prop("acc", "balance", Value::Int(1)).unwrap();
+        let old = db.begin_snapshot();
+        // two committed overwrites pile up versions the old snapshot
+        // must keep visible
+        db.set_prop("acc", "balance", Value::Int(2)).unwrap();
+        db.set_prop("acc", "balance", Value::Int(3)).unwrap();
+        db.gc_versions();
+        assert_eq!(
+            db.snapshot_get(old, "acc", "balance").unwrap(),
+            Value::Int(1),
+            "GC must not collect the version the live snapshot resolves"
+        );
+        assert_eq!(db.version_count(), 3);
+        // once the old snapshot finishes, the shadowed versions go
+        db.abort_snapshot(old);
+        assert_eq!(db.version_count(), 1);
+        assert!(db.versions_collected() >= 2);
+        assert_eq!(db.get_prop("acc", "balance").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn aborted_snapshot_publishes_nothing() {
+        let rec = Recorder::new();
+        let mut db = Database::new(account_schema(), rec);
+        db.create("acc", "Account").unwrap();
+        db.set_prop("acc", "balance", Value::Int(5)).unwrap();
+        let t = db.begin_snapshot();
+        db.snapshot_set(t, "acc", "balance", Value::Int(99))
+            .unwrap();
+        db.abort_snapshot(t);
+        assert_eq!(db.get_prop("acc", "balance").unwrap(), Value::Int(5));
+        assert_eq!(db.version_count(), 1);
     }
 
     #[test]

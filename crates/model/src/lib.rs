@@ -13,16 +13,21 @@
 //!   open-nested action tree as a side effect;
 //! * [`recorder`] — the bridge from live execution to
 //!   [`oodb_core`]'s transaction systems and histories (Axiom 1 order is
-//!   realized by recording primitive executions in real time).
+//!   realized by recording primitive executions in real time);
+//! * [`versions`] — per-property committed version chains: snapshot
+//!   (MVCC) transactions read the newest version at or below their
+//!   begin timestamp and buffer their writes until the commit point.
 
 #![warn(missing_docs)]
 
 pub mod database;
 pub mod recorder;
 pub mod types;
+pub mod versions;
 
 pub use database::{
-    method, primitive_method, Database, Instance, Method, MethodOutcome, ModelError,
+    method, primitive_method, Database, Instance, Method, MethodOutcome, ModelError, SnapshotId,
 };
 pub use recorder::{Recorder, TxnCtx};
 pub use types::{ObjectType, TypeError, TypeRegistry};
+pub use versions::VersionChain;

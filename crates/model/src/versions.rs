@@ -1,0 +1,177 @@
+//! Per-property committed version chains — the model-level MVCC store.
+//!
+//! Each object property keeps its full committed history as a
+//! [`VersionChain`]: a list of `(commit timestamp, value)` pairs in
+//! ascending timestamp order. Snapshot readers resolve the newest
+//! version no newer than their begin timestamp; the legacy in-place
+//! accessors read and extend the head of the chain, so non-snapshot
+//! code observes exactly the semantics it always had.
+//!
+//! Garbage collection is watermark-driven: given the oldest begin
+//! timestamp any live snapshot transaction holds, every version
+//! *shadowed* by a newer version that is still ≤ the watermark is
+//! unreachable — no current or future snapshot can resolve to it — and
+//! is dropped. The newest version at-or-below the watermark and every
+//! version above it always survive.
+
+/// A committed version history for one value, ascending by timestamp.
+///
+/// Timestamps are supplied by the owning [`Database`](crate::Database)'s
+/// monotone commit clock; [`VersionChain::install`] enforces
+/// monotonicity so `resolve` can binary-search.
+#[derive(Debug, Clone)]
+pub struct VersionChain<V> {
+    versions: Vec<(u64, V)>,
+}
+
+impl<V> Default for VersionChain<V> {
+    fn default() -> Self {
+        VersionChain::new()
+    }
+}
+
+impl<V> VersionChain<V> {
+    /// An empty chain.
+    pub fn new() -> Self {
+        VersionChain {
+            versions: Vec::new(),
+        }
+    }
+
+    /// A chain with a single initial version at timestamp `ts`.
+    pub fn seeded(ts: u64, value: V) -> Self {
+        VersionChain {
+            versions: vec![(ts, value)],
+        }
+    }
+
+    /// Install a new committed version at timestamp `ts`.
+    ///
+    /// `ts` must be at least the newest existing timestamp (the commit
+    /// clock is monotone). Installing *at* the newest timestamp
+    /// replaces it — two writes in the same committing transaction
+    /// collapse to the transaction's final value, which is what a
+    /// single commit point means.
+    pub fn install(&mut self, ts: u64, value: V) {
+        match self.versions.last_mut() {
+            Some((last, v)) if *last == ts => *v = value,
+            Some((last, _)) => {
+                assert!(*last < ts, "version timestamps must be monotone");
+                self.versions.push((ts, value));
+            }
+            None => self.versions.push((ts, value)),
+        }
+    }
+
+    /// The newest version visible at snapshot timestamp `as_of`: the
+    /// version with the greatest timestamp `ts <= as_of`, or `None` if
+    /// every version is newer than the snapshot.
+    pub fn resolve(&self, as_of: u64) -> Option<&V> {
+        match self.versions.partition_point(|(ts, _)| *ts <= as_of) {
+            0 => None,
+            n => Some(&self.versions[n - 1].1),
+        }
+    }
+
+    /// The newest committed version regardless of snapshot (the legacy
+    /// in-place view).
+    pub fn latest(&self) -> Option<&V> {
+        self.versions.last().map(|(_, v)| v)
+    }
+
+    /// Mutable access to the newest version's value.
+    pub fn latest_mut(&mut self) -> Option<&mut V> {
+        self.versions.last_mut().map(|(_, v)| v)
+    }
+
+    /// The newest version's commit timestamp.
+    pub fn latest_ts(&self) -> Option<u64> {
+        self.versions.last().map(|(ts, _)| *ts)
+    }
+
+    /// Number of versions currently retained.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether the chain holds no versions at all.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Drop every version shadowed by a newer version that is itself
+    /// `<= watermark` — i.e. keep the newest version at-or-below the
+    /// watermark (the one every snapshot at or after the watermark
+    /// resolves to) plus all versions above it. Returns the number of
+    /// versions collected.
+    pub fn gc(&mut self, watermark: u64) -> usize {
+        let below = self.versions.partition_point(|(ts, _)| *ts <= watermark);
+        if below <= 1 {
+            return 0;
+        }
+        let collected = below - 1;
+        self.versions.drain(..collected);
+        collected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> VersionChain<&'static str> {
+        let mut c = VersionChain::new();
+        c.install(2, "a");
+        c.install(5, "b");
+        c.install(9, "c");
+        c
+    }
+
+    #[test]
+    fn resolve_picks_newest_at_or_below_snapshot() {
+        let c = chain();
+        assert_eq!(c.resolve(1), None);
+        assert_eq!(c.resolve(2), Some(&"a"), "boundary: ts == as_of is visible");
+        assert_eq!(c.resolve(4), Some(&"a"));
+        assert_eq!(c.resolve(5), Some(&"b"));
+        assert_eq!(c.resolve(100), Some(&"c"));
+        assert_eq!(c.latest(), Some(&"c"));
+    }
+
+    #[test]
+    fn install_at_same_ts_replaces() {
+        let mut c = chain();
+        c.install(9, "c2");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.latest(), Some(&"c2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn install_rejects_time_travel() {
+        chain().install(4, "x");
+    }
+
+    #[test]
+    fn gc_never_collects_a_visible_version() {
+        // a snapshot at ts 5 resolves to "b"; with watermark 5 (oldest
+        // live snapshot), "a" is shadowed and collectable but "b" and
+        // "c" must survive
+        let mut c = chain();
+        assert_eq!(c.gc(5), 1);
+        assert_eq!(c.resolve(5), Some(&"b"));
+        assert_eq!(c.resolve(8), Some(&"b"));
+        assert_eq!(c.latest(), Some(&"c"));
+        // idempotent: nothing left to shadow
+        assert_eq!(c.gc(5), 0);
+        // watermark below every version collects nothing
+        let mut c2 = chain();
+        assert_eq!(c2.gc(1), 0);
+        assert_eq!(c2.len(), 3);
+        // watermark past the head keeps exactly the head
+        let mut c3 = chain();
+        assert_eq!(c3.gc(50), 2);
+        assert_eq!(c3.len(), 1);
+        assert_eq!(c3.resolve(50), Some(&"c"));
+    }
+}

@@ -1,9 +1,10 @@
-//! The transaction engine end to end: one workload, three concurrency
-//! controls, live metrics, and a full serializability audit.
+//! The transaction engine end to end: one workload, every concurrency
+//! control (including MVCC snapshot execution vs legacy in-place
+//! optimistic), live metrics, and a full serializability audit.
 //!
 //! Run with: `cargo run --example engine`
 //!
-//! With `--trace <path>` the last run (sharded optimistic) is traced:
+//! With `--trace <path>` the last run (sharded MVCC) is traced:
 //! the structured event log is written to `<path>` as JSONL and to
 //! `<path>.chrome.json` in Chrome `trace_event` format (load it at
 //! `chrome://tracing` or <https://ui.perfetto.dev>), and the dependency
@@ -11,7 +12,7 @@
 //! audit.
 
 use oodb::engine::trace::export::{to_chrome_trace, to_jsonl};
-use oodb::engine::{CcKind, EngineConfig, TraceMode};
+use oodb::engine::{CcKind, EngineConfig, OptimisticExec, TraceMode};
 use oodb::sim::{encyclopedia_workload, EncMix, EncWorkloadConfig, Skew};
 
 fn main() {
@@ -37,13 +38,15 @@ fn main() {
 
     println!("24 update-heavy transactions on 24 hot keys, 8 workers:\n");
     let combos = [
-        (CcKind::Pessimistic, 1),
-        (CcKind::PessimisticPage, 1),
-        (CcKind::Optimistic, 1),
-        (CcKind::Pessimistic, 4),
-        (CcKind::Optimistic, 4),
+        (CcKind::Pessimistic, 1, OptimisticExec::Snapshot),
+        (CcKind::PessimisticPage, 1, OptimisticExec::Snapshot),
+        (CcKind::Optimistic, 1, OptimisticExec::InPlace),
+        (CcKind::Optimistic, 1, OptimisticExec::Snapshot),
+        (CcKind::Pessimistic, 4, OptimisticExec::Snapshot),
+        (CcKind::Optimistic, 4, OptimisticExec::InPlace),
+        (CcKind::Optimistic, 4, OptimisticExec::Snapshot),
     ];
-    for (i, (kind, shards)) in combos.into_iter().enumerate() {
+    for (i, (kind, shards, exec)) in combos.into_iter().enumerate() {
         let trace = if trace_path.is_some() && i == combos.len() - 1 {
             TraceMode::ring()
         } else {
@@ -55,6 +58,7 @@ fn main() {
             shards,
             seed: 7,
             trace,
+            optimistic_exec: exec,
             // hold every key in one leaf: the trace-side dependency
             // reconstruction assumes no node split relocates an index
             // entry mid-run (see `trace::analyze`)
@@ -93,14 +97,20 @@ fn main() {
     println!(
         "Semantic locking retries only on true semantic conflicts; the\n\
          page-level ablation serializes the hot keys; optimistic\n\
-         certification trades locks for validation aborts. The sharded\n\
-         variants (shards > 1) partition the key space across independent\n\
-         lock managers / certifier shards and stitch the per-shard commit\n\
-         decisions into one merged audit. On a hot-key workload like this\n\
-         one sharding cannot help (every transaction's conflict component\n\
-         spans all shards) — run `experiments b10` for the disjoint-key\n\
-         scaling case. All runs are oo-serializable — the page-level run\n\
-         is even conventionally serializable, at the price of concurrency."
+         certification trades locks for validation aborts. The mvcc rows\n\
+         run the optimistic certifiers under MVCC snapshot execution:\n\
+         writes buffer per attempt and install atomically with\n\
+         certification, so commit-dependency waits and cascading aborts\n\
+         disappear (compare their dep-waits/cascades counters with the\n\
+         in-place optimistic rows — run `experiments b12` for the full\n\
+         comparison). The sharded variants (shards > 1) partition the key\n\
+         space across independent lock managers / certifier shards and\n\
+         stitch the per-shard commit decisions into one merged audit. On\n\
+         a hot-key workload like this one sharding cannot help (every\n\
+         transaction's conflict component spans all shards) — run\n\
+         `experiments b10` for the disjoint-key scaling case. All runs\n\
+         are oo-serializable — the page-level run is even conventionally\n\
+         serializable, at the price of concurrency."
     );
 }
 
