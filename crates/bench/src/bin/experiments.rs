@@ -1,5 +1,5 @@
 //! Experiment driver: regenerate the paper's figures and the quantitative
-//! tables. Usage: `experiments [fig1|fig2|fig4|fig5|fig6|fig7|fig8|gap|b1|b2|b3|b4|b5|…|b12|all]…`
+//! tables. Usage: `experiments [fig1|fig2|fig4|fig5|fig6|fig7|fig8|gap|b1|b2|b3|b4|b5|…|b13|all]…`
 
 use oodb_bench::{figures, quant};
 
@@ -25,13 +25,14 @@ fn run(id: &str) -> Option<String> {
         "b10" => quant::b10(),
         "b11" => quant::b11(),
         "b12" => quant::b12(),
+        "b13" => quant::b13(),
         _ => return None,
     })
 }
 
-const ALL: [&str; 20] = [
+const ALL: [&str; 21] = [
     "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "gap", "b1", "b2", "b3", "b4", "b5",
-    "b6", "b7", "b8", "b9", "b10", "b11", "b12",
+    "b6", "b7", "b8", "b9", "b10", "b11", "b12", "b13",
 ];
 
 fn main() {

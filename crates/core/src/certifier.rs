@@ -50,8 +50,12 @@
 
 use crate::history::History;
 use crate::ids::{ActionIdx, TxnIdx};
+use crate::incremental::{FeedOutcome, IncrementalFeed, IncrementalSchedules};
 use crate::schedule::SystemSchedules;
-use crate::serializability::{check_system_decentralized, check_system_global, Violation};
+use crate::serializability::{
+    check_incremental_decentralized, check_incremental_global, check_system_decentralized,
+    check_system_global, Violation,
+};
 use crate::system::TransactionSystem;
 use std::collections::HashSet;
 
@@ -78,6 +82,31 @@ pub enum WaitPolicy {
     Ignore,
 }
 
+/// How the certifier derives the dependency information behind each
+/// decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CertBackend {
+    /// Maintain one live [`IncrementalSchedules`] across attempts and
+    /// feed it only the actions appended since the last attempt —
+    /// per-attempt inference cost O(new actions). The default.
+    #[default]
+    Incremental,
+    /// Re-run `SystemSchedules::infer_scoped` from a fresh restricted
+    /// history on every attempt — O(component) per attempt. Kept as the
+    /// differential oracle for the incremental path.
+    FromScratch,
+}
+
+impl CertBackend {
+    /// Short label for experiment tables and config dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            CertBackend::Incremental => "incremental",
+            CertBackend::FromScratch => "from-scratch",
+        }
+    }
+}
+
 /// Result of a commit attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommitOutcome {
@@ -99,6 +128,10 @@ pub enum CommitOutcome {
 pub struct Certifier {
     mode: CertifierMode,
     wait_policy: WaitPolicy,
+    backend: CertBackend,
+    /// Live incremental schedules (lazily created on the first attempt
+    /// when the backend is [`CertBackend::Incremental`]).
+    feed: Option<IncrementalFeed>,
     committed: HashSet<TxnIdx>,
     aborted: HashSet<TxnIdx>,
     /// Monotone counters.
@@ -116,6 +149,15 @@ pub struct CertifierStats {
     pub aborts: u64,
     /// Attempts answered with `MustWait`.
     pub waits: u64,
+    /// Actions fed to dependency inference, summed over every decision:
+    /// restricted-history lengths for the from-scratch backend, delta
+    /// lengths (plus full replay lengths on reseeds) for the incremental
+    /// one. The B13 cost measure.
+    pub actions_inferred: u64,
+    /// Times the incremental backend rebuilt its schedules from the
+    /// restricted history (garbage from excluded transactions outgrew
+    /// the live edges).
+    pub incremental_reseeds: u64,
 }
 
 impl Certifier {
@@ -131,6 +173,47 @@ impl Certifier {
     pub fn with_wait_policy(mut self, policy: WaitPolicy) -> Self {
         self.wait_policy = policy;
         self
+    }
+
+    /// Override the inference backend (defaults to
+    /// [`CertBackend::Incremental`]).
+    pub fn with_backend(mut self, backend: CertBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The inference backend in use.
+    pub fn backend(&self) -> CertBackend {
+        self.backend
+    }
+
+    /// The live incremental schedules (`None` under the from-scratch
+    /// backend, or before the first incremental decision). Engine-side
+    /// callers query these for their own scoped wait/cascade checks
+    /// instead of re-inferring.
+    pub fn incremental(&self) -> Option<&IncrementalSchedules> {
+        self.feed.as_ref().map(IncrementalFeed::schedules)
+    }
+
+    fn feed_mut(&mut self) -> &mut IncrementalFeed {
+        self.feed.get_or_insert_with(IncrementalFeed::new)
+    }
+
+    /// Fold the actions appended since the last attempt into the live
+    /// incremental schedules (no-op under the from-scratch backend).
+    /// Reseeds first when the garbage from excluded transactions has
+    /// outgrown the live edges; both costs land in
+    /// [`CertifierStats::actions_inferred`].
+    pub fn feed_record(&mut self, ts: &TransactionSystem, history: &History) -> FeedOutcome {
+        if self.backend != CertBackend::Incremental {
+            return FeedOutcome::default();
+        }
+        let out = self.feed_mut().feed(ts, history);
+        self.stats.actions_inferred += out.fed as u64;
+        if out.reseeded {
+            self.stats.incremental_reseeds += 1;
+        }
+        out
     }
 
     /// Committed transactions so far.
@@ -175,7 +258,18 @@ impl Certifier {
             "transaction {candidate} already finalized"
         );
         self.stats.attempts += 1;
+        match self.backend {
+            CertBackend::FromScratch => self.try_commit_from_scratch(ts, history, candidate),
+            CertBackend::Incremental => self.try_commit_incremental(ts, history, candidate),
+        }
+    }
 
+    fn try_commit_from_scratch(
+        &mut self,
+        ts: &TransactionSystem,
+        history: &History,
+        candidate: TxnIdx,
+    ) -> CommitOutcome {
         if self.wait_policy == WaitPolicy::Require {
             // commit dependency: any live predecessor blocks the commit.
             // Scoped to live transactions — finalized ones cannot block,
@@ -185,6 +279,7 @@ impl Certifier {
             // fraction of the cost.
             let scope = self.live_scope(ts, candidate);
             let restricted = restrict_history(ts, history, &scope);
+            self.stats.actions_inferred += restricted.len() as u64;
             let ss = SystemSchedules::infer_scoped(ts, &restricted, &scope);
             let top = ss.top_level_deps(ts);
             let me = ts.top_level()[candidate.as_usize()];
@@ -202,11 +297,68 @@ impl Certifier {
         let mut scope: HashSet<TxnIdx> = self.committed.clone();
         scope.insert(candidate);
         let restricted = restrict_history(ts, history, &scope);
+        self.stats.actions_inferred += restricted.len() as u64;
         let ss = SystemSchedules::infer_scoped(ts, &restricted, &scope);
         let verdict = match self.mode {
             CertifierMode::Paper => check_system_decentralized(ts, &ss),
             CertifierMode::Global => check_system_global(ts, &ss),
         };
+        self.finalize_attempt(candidate, verdict)
+    }
+
+    /// The incremental twin of [`Self::try_commit_from_scratch`]: same
+    /// decisions, but every query reads the live schedules filtered to
+    /// the relevant scope instead of re-inferring a restricted history.
+    fn try_commit_incremental(
+        &mut self,
+        ts: &TransactionSystem,
+        history: &History,
+        candidate: TxnIdx,
+    ) -> CommitOutcome {
+        self.feed_record(ts, history);
+        if self.wait_policy == WaitPolicy::Require {
+            // edges involving a finalized predecessor may linger until
+            // the next reseed; the liveness filter makes them inert,
+            // exactly like the scoped inference excluding them
+            let me = ts.top_level()[candidate.as_usize()];
+            let mut wait_on = None;
+            let inc = self.feed.as_ref().expect("fed above").schedules();
+            for (f, t) in inc.top_level_deps().edges() {
+                if *t == me {
+                    let pred = ts.action(*f).txn;
+                    if pred != candidate && self.is_live(pred) {
+                        wait_on = Some(pred);
+                        break;
+                    }
+                }
+            }
+            if let Some(on) = wait_on {
+                self.stats.waits += 1;
+                return CommitOutcome::MustWait { on };
+            }
+        }
+
+        let mut scope: HashSet<TxnIdx> = self.committed.clone();
+        scope.insert(candidate);
+        let inc = self.feed.as_ref().expect("fed above").schedules();
+        let verdict = match self.mode {
+            CertifierMode::Paper => check_incremental_decentralized(ts, inc, &scope),
+            CertifierMode::Global => check_incremental_global(ts, inc, &scope),
+        };
+        let outcome = self.finalize_attempt(candidate, verdict);
+        if matches!(outcome, CommitOutcome::MustAbort(_)) {
+            // the aborted candidate leaves every future scope: stop
+            // feeding its actions and let the garbage trigger a reseed
+            self.feed_mut().exclude(candidate);
+        }
+        outcome
+    }
+
+    fn finalize_attempt(
+        &mut self,
+        candidate: TxnIdx,
+        verdict: Result<(), Violation>,
+    ) -> CommitOutcome {
         match verdict {
             Ok(()) => {
                 self.committed.insert(candidate);
@@ -226,12 +378,32 @@ impl Certifier {
     /// cascade (the caller aborts and compensates them too).
     pub fn abort(&mut self, ts: &TransactionSystem, history: &History, txn: TxnIdx) -> Vec<TxnIdx> {
         assert!(self.is_live(txn), "transaction {txn} already finalized");
+        if self.backend == CertBackend::Incremental {
+            self.feed_record(ts, history);
+            self.aborted.insert(txn);
+            self.stats.aborts += 1;
+            let me = ts.top_level()[txn.as_usize()];
+            let inc = self.feed.as_ref().expect("fed above").schedules();
+            let mut cascade = Vec::new();
+            let mut seen = HashSet::new();
+            for (f, t) in inc.top_level_deps().edges() {
+                if *f == me {
+                    let dep = ts.action(*t).txn;
+                    if self.is_live(dep) && seen.insert(dep) {
+                        cascade.push(dep);
+                    }
+                }
+            }
+            self.feed_mut().exclude(txn);
+            return cascade;
+        }
         // only live dependents can cascade, so the scoped fixpoint over
         // {txn} ∪ live sees every relevant edge (see `live_scope`)
         let scope = self.live_scope(ts, txn);
         self.aborted.insert(txn);
         self.stats.aborts += 1;
         let restricted = restrict_history(ts, history, &scope);
+        self.stats.actions_inferred += restricted.len() as u64;
         let ss = SystemSchedules::infer_scoped(ts, &restricted, &scope);
         let top = ss.top_level_deps(ts);
         let me = ts.top_level()[txn.as_usize()];
@@ -256,6 +428,11 @@ impl Certifier {
         assert!(self.is_live(txn), "transaction {txn} already finalized");
         self.aborted.insert(txn);
         self.stats.aborts += 1;
+        if self.backend == CertBackend::Incremental {
+            // actions the finalized transaction already recorded become
+            // garbage; the next feed prunes them once they dominate
+            self.feed_mut().exclude(txn);
+        }
     }
 
     /// The sub-history of committed transactions — the durable execution
@@ -577,5 +754,209 @@ mod tests {
         }
         assert_eq!(cert.stats.aborts, 0);
         assert_eq!(cert.stats.waits, 0);
+    }
+
+    /// Four transactions over two keys with opposing page orders inside
+    /// each key pair: two independent cross cycles plus chain edges.
+    fn four_txn_system() -> (TransactionSystem, History) {
+        let mut ts = TransactionSystem::new();
+        let leaf = ts.add_object("Leaf", Arc::new(KeyedSpec::search_structure("leaf")));
+        let p = ts.add_object("PageA", Arc::new(ReadWriteSpec));
+        let q = ts.add_object("PageB", Arc::new(ReadWriteSpec));
+        let build = |ts: &mut TransactionSystem, name: &str, k: &str| -> Vec<ActionIdx> {
+            let mut b = ts.txn(name);
+            b.call(leaf, ActionDescriptor::new("insert", vec![key(k)]));
+            let a = b.leaf(p, desc("write"));
+            let c = b.leaf(q, desc("write"));
+            b.end();
+            b.finish();
+            vec![a, c]
+        };
+        let t1 = build(&mut ts, "T1", "K");
+        let t2 = build(&mut ts, "T2", "L");
+        let t3 = build(&mut ts, "T3", "K");
+        let t4 = build(&mut ts, "T4", "L");
+        let h = History::from_order(
+            &ts,
+            &[t1[0], t3[0], t2[0], t4[0], t3[1], t1[1], t4[1], t2[1]],
+        )
+        .unwrap();
+        (ts, h)
+    }
+
+    /// Edge-for-edge oracle: the certifier's live incremental relations,
+    /// filtered to the non-aborted transactions, must equal a fresh
+    /// `infer_scoped` over the correspondingly restricted history — per
+    /// object, per relation, both directions.
+    fn assert_incremental_matches_batch(
+        cert: &Certifier,
+        ts: &TransactionSystem,
+        h: &History,
+        step: &str,
+    ) {
+        let inc = cert.incremental().expect("incremental backend has fed");
+        let scope: HashSet<TxnIdx> = (0..ts.top_level().len() as u32)
+            .map(TxnIdx)
+            .filter(|t| !cert.aborted().contains(t))
+            .collect();
+        let restricted = restrict_history(ts, h, &scope);
+        let batch = SystemSchedules::infer_scoped(ts, &restricted, &scope);
+        type EdgeSet = HashSet<(ActionIdx, ActionIdx)>;
+        let keep = |f: &ActionIdx, t: &ActionIdx| {
+            scope.contains(&ts.action(*f).txn) && scope.contains(&ts.action(*t).txn)
+        };
+        for o in ts.object_indices() {
+            let sch = batch.schedule(o);
+            for (maintained, inferred, name) in [
+                (inc.action_deps(o), &sch.action_deps, "action"),
+                (inc.txn_deps(o), &sch.txn_deps, "txn"),
+                (inc.added_deps(o), &sch.added_deps, "added"),
+            ] {
+                let filtered: EdgeSet = maintained
+                    .map(|g| {
+                        g.edges()
+                            .filter(|(f, t)| keep(f, t))
+                            .map(|(f, t)| (*f, *t))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let fresh: EdgeSet = inferred.edges().map(|(f, t)| (*f, *t)).collect();
+                assert_eq!(
+                    filtered, fresh,
+                    "{name} deps of object {o} diverge after {step}"
+                );
+            }
+        }
+    }
+
+    fn permutations_of(n: usize) -> Vec<Vec<usize>> {
+        fn go(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+            if k == items.len() {
+                out.push(items.clone());
+                return;
+            }
+            for i in k..items.len() {
+                items.swap(k, i);
+                go(items, k + 1, out);
+                items.swap(k, i);
+            }
+        }
+        let mut items: Vec<usize> = (0..n).collect();
+        let mut out = Vec::new();
+        go(&mut items, 0, &mut out);
+        out
+    }
+
+    /// Exhaustive small-system differential: over **every** commit/abort
+    /// interleaving of 2/3/4-transaction systems (every finalization
+    /// order × every commit-vs-abort assignment × both certifier modes,
+    /// with and without a forced reseed after each step), the
+    /// incremental certifier reaches the same decision as a from-scratch
+    /// twin and its maintained relations equal fresh scoped inference
+    /// edge for edge after every step.
+    #[test]
+    fn incremental_state_matches_fresh_inference_after_every_step() {
+        for (ts, h) in [chain_system(), contended_system(), four_txn_system()] {
+            let n = ts.top_level().len();
+            for perm in permutations_of(n) {
+                for mask in 0..(1u32 << n) {
+                    for mode in [CertifierMode::Paper, CertifierMode::Global] {
+                        for force_reseed in [false, true] {
+                            let mut cert = Certifier::new(mode);
+                            let mut oracle =
+                                Certifier::new(mode).with_backend(CertBackend::FromScratch);
+                            for (step, &t) in perm.iter().enumerate() {
+                                let txn = TxnIdx(t as u32);
+                                let commit = mask & (1 << t) != 0;
+                                if commit {
+                                    let got = cert.try_commit(&ts, &h, txn);
+                                    let want = oracle.try_commit(&ts, &h, txn);
+                                    // decisions agree in kind; the waited-on
+                                    // predecessor / cycle witness may come out
+                                    // of iteration order and can differ
+                                    assert_eq!(
+                                        std::mem::discriminant(&got),
+                                        std::mem::discriminant(&want),
+                                        "decision diverged at step {step}: \
+                                         incremental {got:?} vs from-scratch {want:?} \
+                                         (perm {perm:?}, mask {mask:b}, {mode:?})"
+                                    );
+                                } else {
+                                    let got: HashSet<TxnIdx> =
+                                        cert.abort(&ts, &h, txn).into_iter().collect();
+                                    let want: HashSet<TxnIdx> =
+                                        oracle.abort(&ts, &h, txn).into_iter().collect();
+                                    assert_eq!(
+                                        got, want,
+                                        "cascade diverged at step {step} \
+                                         (perm {perm:?}, mask {mask:b}, {mode:?})"
+                                    );
+                                }
+                                if force_reseed {
+                                    let replayed = cert.feed.as_mut().expect("fed").reseed(&ts, &h);
+                                    cert.stats.actions_inferred += replayed as u64;
+                                    cert.stats.incremental_reseeds += 1;
+                                }
+                                let label = format!(
+                                    "step {step} (perm {perm:?}, mask {mask:b}, {mode:?}, \
+                                     forced reseed {force_reseed})"
+                                );
+                                assert_incremental_matches_batch(&cert, &ts, &h, &label);
+                                assert_eq!(
+                                    cert.committed(),
+                                    oracle.committed(),
+                                    "committed sets diverged after {label}"
+                                );
+                                assert_eq!(
+                                    cert.aborted(),
+                                    oracle.aborted(),
+                                    "aborted sets diverged after {label}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The incremental backend's cost accounting: feeding is charged per
+    /// appended action (not per attempt × history), and an exclusion-heavy
+    /// run eventually reseeds.
+    #[test]
+    fn incremental_accounting_charges_deltas_and_reseeds() {
+        let (ts, h) = contended_system();
+        let mut inc = Certifier::new(CertifierMode::Paper);
+        let mut batch = Certifier::new(CertifierMode::Paper).with_backend(CertBackend::FromScratch);
+        // same decision sequence on both backends: wait, wait, abort+cascade,
+        // then commit the survivor
+        for cert in [&mut inc, &mut batch] {
+            assert!(matches!(
+                cert.try_commit(&ts, &h, TxnIdx(0)),
+                CommitOutcome::MustWait { .. }
+            ));
+            assert!(matches!(
+                cert.try_commit(&ts, &h, TxnIdx(2)),
+                CommitOutcome::MustWait { .. }
+            ));
+            for t in cert.abort(&ts, &h, TxnIdx(2)) {
+                cert.register_abort(t);
+            }
+            assert_eq!(
+                cert.try_commit(&ts, &h, TxnIdx(1)),
+                CommitOutcome::Committed
+            );
+        }
+        // the incremental backend consumed each recorded action at most
+        // once plus reseed replays; from-scratch re-restricted the record
+        // on every attempt and must have inferred strictly more
+        assert!(
+            inc.stats.actions_inferred < batch.stats.actions_inferred,
+            "incremental {} vs from-scratch {}",
+            inc.stats.actions_inferred,
+            batch.stats.actions_inferred
+        );
+        assert_eq!(inc.stats.commits, batch.stats.commits);
+        assert_eq!(inc.stats.aborts, batch.stats.aborts);
     }
 }

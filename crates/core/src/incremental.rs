@@ -18,10 +18,11 @@
 //! cycles only through B-link rearrangements, which the batch path covers.
 
 use crate::graph::DiGraph;
-use crate::ids::{ActionIdx, ObjectIdx};
+use crate::history::History;
+use crate::ids::{ActionIdx, ObjectIdx, TxnIdx};
 use crate::schedule::{ObjectSchedule, SystemSchedules};
 use crate::system::TransactionSystem;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Incrementally maintained per-object dependency relations.
 #[derive(Debug, Default)]
@@ -65,9 +66,11 @@ impl IncrementalSchedules {
         let o = ts.action(p).object;
         let oi = o.as_usize();
         // seed: every earlier conflicting primitive on this object orders
-        // before p (Axiom 1)
-        let earlier = self.executed[oi].clone();
-        for q in earlier {
+        // before p (Axiom 1). Index loop instead of iterating a clone:
+        // `add_action_dep` never touches `executed`, so the slice is
+        // stable, and cloning it would cost O(history) per primitive.
+        for i in 0..self.executed[oi].len() {
+            let q = self.executed[oi][i];
             if ts.conflicts(q, p) {
                 self.add_action_dep(ts, o, q, p);
             }
@@ -157,6 +160,127 @@ impl IncrementalSchedules {
 
 fn graph_eq(a: &DiGraph<ActionIdx>, b: &DiGraph<ActionIdx>) -> bool {
     a.edge_count() == b.edge_count() && a.edges().all(|(f, t)| b.has_edge(f, t))
+}
+
+/// What one [`IncrementalFeed::feed`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedOutcome {
+    /// Primitives folded into the schedules by this call (on a reseed,
+    /// the full replay length — the honest inference cost).
+    pub fed: usize,
+    /// Whether this call rebuilt the schedules from the restricted
+    /// history instead of appending a delta.
+    pub reseeded: bool,
+}
+
+/// A delta cursor over an append-only [`History`],
+/// driving [`IncrementalSchedules`] for an online certifier.
+///
+/// Each [`feed`](IncrementalFeed::feed) call folds in exactly the
+/// primitives appended since the previous call — O(new actions), not
+/// O(history). Finalized-and-irrelevant transactions (aborted victims,
+/// settled commits) are [`exclude`](IncrementalFeed::exclude)d: their
+/// primitives stop being fed, and the edges already derived from them
+/// become garbage that a later feed prunes by **reseeding** — replaying
+/// the non-excluded sub-history from scratch — once garbage outweighs
+/// the live edges. Because every derivation rule stays within one
+/// transaction pair, edges between two non-excluded transactions never
+/// depend on an excluded transaction's actions, so skipping excluded
+/// primitives is lossless and queries simply filter edges to the scope
+/// at hand.
+#[derive(Debug, Default)]
+pub struct IncrementalFeed {
+    inc: IncrementalSchedules,
+    /// History positions already consumed.
+    fed: usize,
+    /// Fed primitive counts per still-included transaction.
+    per_txn: HashMap<TxnIdx, usize>,
+    /// Fed primitives belonging to included transactions.
+    live_actions: usize,
+    /// Fed primitives whose transaction was excluded afterwards.
+    garbage: usize,
+    excluded: HashSet<TxnIdx>,
+}
+
+impl IncrementalFeed {
+    /// An empty feed at history position 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The maintained schedules (query side).
+    pub fn schedules(&self) -> &IncrementalSchedules {
+        &self.inc
+    }
+
+    /// History positions consumed so far.
+    pub fn fed_len(&self) -> usize {
+        self.fed
+    }
+
+    /// Transactions excluded from maintenance.
+    pub fn excluded(&self) -> &HashSet<TxnIdx> {
+        &self.excluded
+    }
+
+    /// Fold in everything appended since the last call, reseeding first
+    /// when the garbage from excluded transactions outweighs the live
+    /// edges (amortized: each replay is paid for by at least as many
+    /// excluded primitives).
+    pub fn feed(&mut self, ts: &TransactionSystem, history: &History) -> FeedOutcome {
+        if self.garbage > 0 && self.garbage * 2 > self.live_actions {
+            let fed = self.reseed(ts, history);
+            return FeedOutcome {
+                fed,
+                reseeded: true,
+            };
+        }
+        let fed = self.feed_tail(ts, history);
+        FeedOutcome {
+            fed,
+            reseeded: false,
+        }
+    }
+
+    /// Append the unseen history suffix without considering a reseed.
+    fn feed_tail(&mut self, ts: &TransactionSystem, history: &History) -> usize {
+        let mut fed = 0;
+        for &p in &history.order()[self.fed..] {
+            let t = ts.action(p).txn;
+            if self.excluded.contains(&t) {
+                continue;
+            }
+            self.inc.on_primitive(ts, p);
+            *self.per_txn.entry(t).or_insert(0) += 1;
+            self.live_actions += 1;
+            fed += 1;
+        }
+        self.fed = history.len();
+        fed
+    }
+
+    /// Drop `txn` from maintenance: its unseen primitives will be
+    /// skipped, and those already fed are counted as garbage until the
+    /// next reseed replaces the schedules.
+    pub fn exclude(&mut self, txn: TxnIdx) {
+        if self.excluded.insert(txn) {
+            let dead = self.per_txn.remove(&txn).unwrap_or(0);
+            self.garbage += dead;
+            self.live_actions -= dead;
+        }
+    }
+
+    /// Rebuild the schedules from scratch over the non-excluded
+    /// sub-history (re-seed after aborts/settling). Returns the number
+    /// of primitives replayed.
+    pub fn reseed(&mut self, ts: &TransactionSystem, history: &History) -> usize {
+        self.inc = IncrementalSchedules::new();
+        self.per_txn.clear();
+        self.live_actions = 0;
+        self.garbage = 0;
+        self.fed = 0;
+        self.feed_tail(ts, history)
+    }
 }
 
 /// Does any proper ancestor of `p` access `p`'s object (an unextended

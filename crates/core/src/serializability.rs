@@ -182,6 +182,94 @@ pub fn check_system_global(ts: &TransactionSystem, ss: &SystemSchedules) -> Resu
     }
 }
 
+/// Restrict the edges of `g` to those whose endpoint actions both pass
+/// `keep`, as a fresh graph ready for cycle search.
+fn filtered_graph(
+    g: Option<&DiGraph<ActionIdx>>,
+    keep: &impl Fn(ActionIdx) -> bool,
+) -> DiGraph<ActionIdx> {
+    let mut out: DiGraph<ActionIdx> = DiGraph::new();
+    if let Some(g) = g {
+        for (f, t) in g.edges() {
+            if keep(*f) && keep(*t) {
+                out.add_edge(*f, *t);
+            }
+        }
+    }
+    out
+}
+
+/// **Definition 16 over incrementally maintained relations.** The same
+/// decentralized check as [`check_system_decentralized`], but reading
+/// the live [`IncrementalSchedules`](crate::incremental::IncrementalSchedules)
+/// instead of a batch inference, with
+/// every edge filtered to transactions in `scope`.
+///
+/// Equivalence with `infer_scoped` on the restricted history rests on
+/// the pairwise-derivation property: every dependency edge between two
+/// transactions is derived exclusively from those two transactions'
+/// actions (Axiom 1 seeds relate the conflicting pair itself; lifting
+/// and inheritance stay within the pair's call paths). Filtering the
+/// full-history relations to in-scope endpoints therefore yields
+/// exactly the relations inference over the restricted history builds —
+/// edge for edge (the exhaustive test in `certifier.rs` pins this).
+pub fn check_incremental_decentralized(
+    ts: &TransactionSystem,
+    inc: &crate::incremental::IncrementalSchedules,
+    scope: &std::collections::HashSet<crate::ids::TxnIdx>,
+) -> Result<(), Violation> {
+    let keep = |a: ActionIdx| scope.contains(&ts.action(a).txn);
+    for o in ts.object_indices() {
+        if let Some(cycle) = filtered_graph(inc.txn_deps(o), &keep).find_cycle() {
+            return Err(Violation::TxnDepCycle { object: o, cycle });
+        }
+        if let Some(cycle) = filtered_graph(inc.action_deps(o), &keep).find_cycle() {
+            return Err(Violation::ActionDepCycle { object: o, cycle });
+        }
+        let mut combined = filtered_graph(inc.action_deps(o), &keep);
+        if let Some(g) = inc.added_deps(o) {
+            for (f, t) in g.edges() {
+                if keep(*f) && keep(*t) {
+                    combined.add_edge(*f, *t);
+                }
+            }
+        }
+        if let Some(cycle) = combined.find_cycle() {
+            return Err(Violation::AddedDepCycle { object: o, cycle });
+        }
+    }
+    Ok(())
+}
+
+/// Incremental counterpart of [`check_system_global`]: the decentralized
+/// check above plus one stitched whole-system graph over the filtered
+/// action and added dependencies of every object.
+pub fn check_incremental_global(
+    ts: &TransactionSystem,
+    inc: &crate::incremental::IncrementalSchedules,
+    scope: &std::collections::HashSet<crate::ids::TxnIdx>,
+) -> Result<(), Violation> {
+    check_incremental_decentralized(ts, inc, scope)?;
+    let keep = |a: ActionIdx| scope.contains(&ts.action(a).txn);
+    let mut g: DiGraph<ActionIdx> = DiGraph::new();
+    for o in ts.object_indices() {
+        for deps in [inc.action_deps(o), inc.added_deps(o)]
+            .into_iter()
+            .flatten()
+        {
+            for (f, t) in deps.edges() {
+                if keep(*f) && keep(*t) {
+                    g.add_edge(*f, *t);
+                }
+            }
+        }
+    }
+    match g.find_cycle() {
+        Some(cycle) => Err(Violation::GlobalCycle { cycle }),
+        None => Ok(()),
+    }
+}
+
 /// Conventional conflict serializability over the flattened primitive
 /// history: acyclicity of the top-level conflict graph.
 pub fn check_conventional(ts: &TransactionSystem, history: &History) -> Result<(), Violation> {

@@ -15,7 +15,10 @@
 use super::{ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, ShardRoute, TxnHandle};
 use crate::cc::versions::{self, VersionStore};
 use crate::trace::{CertOutcome, TraceEventKind};
-use oodb_core::certifier::{restrict_history, Certifier, CertifierMode, CommitOutcome, WaitPolicy};
+use oodb_core::certifier::{
+    restrict_history, CertBackend, Certifier, CertifierMode, CertifierStats, CommitOutcome,
+    WaitPolicy,
+};
 use oodb_core::history::History;
 use oodb_core::ids::TxnIdx;
 use oodb_core::schedule::SystemSchedules;
@@ -58,6 +61,10 @@ pub struct OptimisticCc {
     /// MVCC version bookkeeping; `Some` selects snapshot execution.
     snapshot: Option<VersionStore>,
     mode: CertifierMode,
+    /// How certification-time dependencies are derived: maintained
+    /// incrementally across attempts (the default) or re-inferred from
+    /// scratch every attempt (the differential oracle).
+    backend: CertBackend,
     name: &'static str,
 }
 
@@ -93,6 +100,7 @@ impl OptimisticCc {
             live: Mutex::new(HashSet::new()),
             snapshot: snapshot.then(VersionStore::new),
             mode,
+            backend: CertBackend::default(),
             name: match (snapshot, mode) {
                 (false, CertifierMode::Paper) => "optimistic",
                 (false, CertifierMode::Global) => "optimistic-global",
@@ -102,9 +110,26 @@ impl OptimisticCc {
         }
     }
 
+    /// Select the certification backend ([`CertBackend::Incremental`]
+    /// is the default; [`CertBackend::FromScratch`] re-infers every
+    /// attempt and serves as the differential oracle — see
+    /// `tests/cert_differential.rs`).
+    pub fn with_certification(mut self, backend: CertBackend) -> Self {
+        self.backend = backend;
+        *self.cert.get_mut() = Certifier::new(self.mode)
+            .with_wait_policy(WaitPolicy::Ignore)
+            .with_backend(backend);
+        self
+    }
+
     /// The serializability check gating commits.
     pub(super) fn mode(&self) -> CertifierMode {
         self.mode
+    }
+
+    /// The certification backend in use.
+    pub fn certification(&self) -> CertBackend {
+        self.backend
     }
 
     /// Whether this control runs MVCC snapshot execution.
@@ -151,6 +176,148 @@ impl OptimisticCc {
         }
         cascade
     }
+
+    /// Publish one certification round's inference cost: the certifier
+    /// stat deltas land in the engine counters, and incremental rounds
+    /// that consumed anything additionally emit a `cert_delta` event
+    /// (`emit_delta` is false on the from-scratch oracle, which has no
+    /// delta to speak of — its cost is the full restricted history).
+    pub(super) fn publish_cert_round(
+        shared: &EngineShared,
+        txn: &TxnHandle,
+        before: CertifierStats,
+        after: CertifierStats,
+        emit_delta: bool,
+    ) {
+        let fed = after.actions_inferred - before.actions_inferred;
+        let reseeds = after.incremental_reseeds - before.incremental_reseeds;
+        if fed > 0 {
+            shared
+                .metrics
+                .cert_actions_inferred
+                .fetch_add(fed, Ordering::Relaxed);
+        }
+        if reseeds > 0 {
+            shared
+                .metrics
+                .cert_incremental_reseeds
+                .fetch_add(reseeds, Ordering::Relaxed);
+        }
+        if emit_delta && (fed > 0 || reseeds > 0) {
+            shared.trace.emit_txn(txn, || TraceEventKind::CertDelta {
+                fed,
+                reseeded: reseeds > 0,
+            });
+        }
+    }
+
+    /// The incremental twin of the from-scratch `try_finish` body: the
+    /// whole round runs against the *live* record under the recorder
+    /// lock ([`oodb_model::Recorder::with_record`]), feeding the
+    /// certifier's maintained schedules only the actions appended since
+    /// the last attempt instead of cloning and re-inferring a snapshot.
+    /// Side effects that re-enter the recorder (version install,
+    /// compensation) stay outside the closure — lock order is always
+    /// recorder → certifier, never the inverse.
+    fn try_finish_incremental(&self, shared: &EngineShared, txn: &TxnHandle) -> FinishOutcome {
+        enum Round {
+            Commit,
+            Wait,
+            Abort(Vec<TxnIdx>),
+        }
+        let round = shared.rec.with_record(|ts, history| {
+            let mut cert = self.cert.lock();
+            let before = cert.stats;
+            cert.feed_record(ts, history);
+            let me = ts.top_level()[txn.txn.as_usize()];
+            if self.snapshot.is_none() {
+                // commit dependency: a live *managed* predecessor must
+                // finalize first. Same liveness scope as the
+                // from-scratch path, but the edges come from the
+                // maintained schedules — stale edges of finalized
+                // transactions are filtered out here, exactly like the
+                // scoped inference excluding them.
+                let live = self.live.lock();
+                let inc = cert.incremental().expect("fed above");
+                for (f, t) in inc.top_level_deps().edges() {
+                    if *t == me {
+                        let pred = ts.action(*f).txn;
+                        if pred != txn.txn && live.contains(&pred) {
+                            drop(live);
+                            Self::publish_cert_round(shared, txn, before, cert.stats, true);
+                            return Round::Wait;
+                        }
+                    }
+                }
+            }
+            // certification scope: the committed set plus the candidate
+            let component = cert.committed().len() + 1;
+            let outcome = cert.try_commit(ts, history, txn.txn);
+            let verdict = match &outcome {
+                CommitOutcome::Committed => CertOutcome::Commit,
+                CommitOutcome::MustWait { .. } => CertOutcome::Wait,
+                CommitOutcome::MustAbort(_) => CertOutcome::Abort,
+            };
+            shared.trace.emit_txn(txn, || TraceEventKind::CertAttempt {
+                component,
+                outcome: verdict,
+            });
+            let round = match outcome {
+                CommitOutcome::Committed => Round::Commit,
+                CommitOutcome::MustWait { .. } => Round::Wait,
+                CommitOutcome::MustAbort(_) if self.snapshot.is_some() => Round::Abort(Vec::new()),
+                CommitOutcome::MustAbort(_) => {
+                    // doom everyone who read our soon-compensated
+                    // effects: live successors in the maintained edges
+                    // (the candidate itself is finalized-aborted now,
+                    // so the liveness filter skips it)
+                    let inc = cert.incremental().expect("fed above");
+                    let mut cascade = Vec::new();
+                    let mut seen = HashSet::new();
+                    for (f, t) in inc.top_level_deps().edges() {
+                        if *f == me {
+                            let dep = ts.action(*t).txn;
+                            if !cert.committed().contains(&dep)
+                                && !cert.aborted().contains(&dep)
+                                && seen.insert(dep)
+                            {
+                                cascade.push(dep);
+                            }
+                        }
+                    }
+                    Round::Abort(cascade)
+                }
+            };
+            Self::publish_cert_round(shared, txn, before, cert.stats, true);
+            round
+        });
+        match round {
+            Round::Commit => {
+                if let Some(store) = &self.snapshot {
+                    versions::on_commit(store, shared, txn);
+                } else {
+                    self.live.lock().remove(&txn.txn);
+                }
+                FinishOutcome::Committed
+            }
+            Round::Wait => FinishOutcome::Wait,
+            Round::Abort(_) if self.snapshot.is_some() => FinishOutcome::Abort,
+            Round::Abort(cascade) => {
+                self.live.lock().remove(&txn.txn);
+                shared
+                    .metrics
+                    .cascade_dooms
+                    .fetch_add(cascade.len() as u64, Ordering::Relaxed);
+                for d in &cascade {
+                    shared
+                        .trace
+                        .emit_txn(txn, || TraceEventKind::CascadeDoom { victim: d.0 as u64 });
+                }
+                self.doomed.lock().extend(cascade);
+                FinishOutcome::Abort
+            }
+        }
+    }
 }
 
 impl Default for OptimisticCc {
@@ -185,6 +352,9 @@ impl ConcurrencyControl for OptimisticCc {
         if self.snapshot.is_none() && self.doomed.lock().contains(&txn.txn) {
             return FinishOutcome::Abort;
         }
+        if self.backend == CertBackend::Incremental {
+            return self.try_finish_incremental(shared, txn);
+        }
         let (ts, history) = shared.rec.snapshot();
         let mut cert = self.cert.lock();
         if self.snapshot.is_none() {
@@ -200,6 +370,10 @@ impl ConcurrencyControl for OptimisticCc {
             let mut scope: HashSet<TxnIdx> = live.iter().copied().collect();
             scope.insert(txn.txn);
             let restricted = restrict_history(&ts, &history, &scope);
+            shared
+                .metrics
+                .cert_actions_inferred
+                .fetch_add(restricted.len() as u64, Ordering::Relaxed);
             let ss = SystemSchedules::infer_scoped(&ts, &restricted, &scope);
             let top = ss.top_level_deps(&ts);
             let me = ts.top_level()[txn.txn.as_usize()];
@@ -214,7 +388,9 @@ impl ConcurrencyControl for OptimisticCc {
         }
         // certification scope: the committed set plus the candidate
         let component = cert.committed().len() + 1;
+        let before = cert.stats;
         let outcome = cert.try_commit(&ts, &history, txn.txn);
+        Self::publish_cert_round(shared, txn, before, cert.stats, false);
         let verdict = match &outcome {
             CommitOutcome::Committed => CertOutcome::Commit,
             CommitOutcome::MustWait { .. } => CertOutcome::Wait,
@@ -265,30 +441,54 @@ impl ConcurrencyControl for OptimisticCc {
     fn after_commit(&self, _shared: &EngineShared, _txn: &TxnHandle) {}
 
     fn after_abort(&self, shared: &EngineShared, txn: &TxnHandle) {
-        let mut cert = self.cert.lock();
-        let live = !cert.committed().contains(&txn.txn) && !cert.aborted().contains(&txn.txn);
         if let Some(store) = &self.snapshot {
             // nothing was published, so nothing can cascade; just
             // finalize the certifier bookkeeping and drop the buffered
             // writes (the attempt may have aborted before its commit
             // point: deadline, injected fault)
-            if live {
+            let mut cert = self.cert.lock();
+            if !cert.committed().contains(&txn.txn) && !cert.aborted().contains(&txn.txn) {
                 cert.register_abort(txn.txn);
             }
             drop(cert);
             versions::on_abort(store, shared, txn);
             return;
         }
-        let (ts, history) = shared.rec.snapshot();
-        let cascade = if live {
-            // victim abort (doomed, deadline, wait-cycle break): register
-            // it with the certifier, which reports the direct dependents
-            cert.abort(&ts, &history, txn.txn)
+        let cascade = if self.backend == CertBackend::Incremental {
+            // victim abort against the live record: feed the delta,
+            // read the cascade off the maintained edges (recorder →
+            // certifier lock order, as everywhere incremental)
+            shared.rec.with_record(|ts, history| {
+                let mut cert = self.cert.lock();
+                let before = cert.stats;
+                let cascade =
+                    if !cert.committed().contains(&txn.txn) && !cert.aborted().contains(&txn.txn) {
+                        cert.abort(ts, history, txn.txn)
+                    } else {
+                        // validation failure: try_finish already doomed the
+                        // cascade
+                        Vec::new()
+                    };
+                Self::publish_cert_round(shared, txn, before, cert.stats, true);
+                cascade
+            })
         } else {
-            // validation failure: try_finish already doomed the cascade
-            Vec::new()
+            let (ts, history) = shared.rec.snapshot();
+            let mut cert = self.cert.lock();
+            let before = cert.stats;
+            let cascade =
+                if !cert.committed().contains(&txn.txn) && !cert.aborted().contains(&txn.txn) {
+                    // victim abort (doomed, deadline, wait-cycle break):
+                    // register it with the certifier, which reports the
+                    // direct dependents
+                    cert.abort(&ts, &history, txn.txn)
+                } else {
+                    // validation failure: try_finish already doomed the cascade
+                    Vec::new()
+                };
+            Self::publish_cert_round(shared, txn, before, cert.stats, false);
+            cascade
         };
-        drop(cert);
         self.live.lock().remove(&txn.txn);
         shared
             .metrics

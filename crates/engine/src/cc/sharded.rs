@@ -47,12 +47,16 @@ use super::{
 };
 use crate::cc::versions::{self, VersionStore};
 use crate::trace::{CertOutcome, TraceEventKind};
-use oodb_core::certifier::{restrict_history, CertifierMode, CertifierStats};
+use oodb_core::certifier::{restrict_history, CertBackend, CertifierMode, CertifierStats};
 use oodb_core::commutativity::ActionDescriptor;
 use oodb_core::history::History;
 use oodb_core::ids::TxnIdx;
+use oodb_core::incremental::IncrementalFeed;
 use oodb_core::schedule::SystemSchedules;
-use oodb_core::serializability::{check_system_decentralized, check_system_global};
+use oodb_core::serializability::{
+    check_incremental_decentralized, check_incremental_global, check_system_decentralized,
+    check_system_global,
+};
 use oodb_core::system::TransactionSystem;
 use oodb_lock::{LockManager, LockOutcome, OwnerId};
 use oodb_sim::exec::{enc_lock_manager, op_descriptor, page_descriptor, ENC_RESOURCE};
@@ -504,6 +508,14 @@ struct OptMeta {
     /// Per-shard commit epochs, bumped when a commit lands on the shard;
     /// lets lock-free validation detect that its scope went stale.
     epochs: Vec<u64>,
+    /// Live incremental schedules over the whole record (incremental
+    /// backend only; stays empty under from-scratch). One feed serves
+    /// every shard — queries filter the maintained edges down to the
+    /// component / wait scope at hand, which is sound because every
+    /// dependency edge derives exclusively from its two endpoints'
+    /// actions. Aborted and settled transactions are excluded so the
+    /// next garbage-triggered reseed prunes their state.
+    feed: IncrementalFeed,
     stats: CertifierStats,
     /// Validation rounds repeated because a concurrent commit landed on
     /// a scope shard mid-validation.
@@ -520,12 +532,17 @@ impl OptMeta {
     }
 
     /// Finalize a live attempt; `committed_now` stamps it for settling.
+    /// An abort additionally leaves the incremental feed — the aborted
+    /// transaction is out of every future scope, so its actions stop
+    /// feeding and its already-fed edges become reseed garbage.
     fn note_finalized(&mut self, me: TxnIdx, committed_now: bool) {
         self.live.remove(&me);
         self.begin_stamp.remove(&me);
         if committed_now {
             self.commit_stamp.insert(me, self.stamp);
             self.stamp += 1;
+        } else {
+            self.feed.exclude(me);
         }
         self.settle_sweep();
     }
@@ -549,6 +566,11 @@ impl OptMeta {
         for t in newly {
             self.commit_stamp.remove(&t);
             self.settled.insert(t);
+            // settled transactions leave every future validation / wait
+            // scope, so the incremental feed can drop them too —
+            // watermark settling prunes the maintained state the same
+            // way it prunes the components
+            self.feed.exclude(t);
         }
     }
 }
@@ -595,6 +617,10 @@ pub struct ShardedOptimisticCc {
     meta: Mutex<OptMeta>,
     n: usize,
     mode: CertifierMode,
+    /// How certification-time dependencies are derived: maintained
+    /// incrementally across attempts (the default) or re-inferred from
+    /// scratch every attempt (the differential oracle).
+    backend: CertBackend,
     faults: FaultPlan,
     /// `Some` runs MVCC snapshot execution: writes buffer in the worker
     /// and install at commit, so commit-dependency waits and cascading
@@ -635,6 +661,7 @@ impl ShardedOptimisticCc {
             }),
             n,
             mode,
+            backend: CertBackend::default(),
             faults: FaultPlan::default(),
             snapshot: snapshot.then(VersionStore::new),
             name: match (snapshot, mode) {
@@ -644,6 +671,23 @@ impl ShardedOptimisticCc {
                 (true, CertifierMode::Global) => "sharded-mvcc-global",
             },
         }
+    }
+
+    /// Select the certification backend ([`CertBackend::Incremental`]
+    /// is the default; [`CertBackend::FromScratch`] re-infers every
+    /// attempt and serves as the differential oracle — see
+    /// `tests/cert_differential.rs`). The incremental backend replaces
+    /// the lock-free revalidation rounds with a single round under the
+    /// metadata lock: the round consumes only the recorder delta, so
+    /// holding the lock costs O(new actions), not O(component).
+    pub fn with_certification(mut self, backend: CertBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The certification backend in use.
+    pub fn certification(&self) -> CertBackend {
+        self.backend
     }
 
     /// True when this instance runs MVCC snapshot execution.
@@ -776,14 +820,17 @@ impl ShardedOptimisticCc {
     }
 
     /// Top-level dependency edges incident to `me` within `scope`:
-    /// `(preds, deps)` — transactions `me` depends on / depending on `me`.
+    /// `(preds, deps, inferred)` — transactions `me` depends on /
+    /// depending on `me`, plus the restricted-history length the
+    /// inference consumed (the from-scratch cost measure).
     fn incident_edges(
         ts: &TransactionSystem,
         history: &History,
         scope: &HashSet<TxnIdx>,
         me: TxnIdx,
-    ) -> (Vec<TxnIdx>, Vec<TxnIdx>) {
+    ) -> (Vec<TxnIdx>, Vec<TxnIdx>, usize) {
         let restricted = restrict_history(ts, history, scope);
+        let inferred = restricted.len();
         let ss = SystemSchedules::infer_scoped(ts, &restricted, scope);
         let top = ss.top_level_deps(ts);
         let me_root = ts.top_level()[me.as_usize()];
@@ -803,16 +850,25 @@ impl ShardedOptimisticCc {
                 }
             }
         }
-        (preds, deps)
+        (preds, deps, inferred)
     }
 
-    fn validate(&self, ts: &TransactionSystem, history: &History, scope: &HashSet<TxnIdx>) -> bool {
+    /// Validate `scope` from scratch; returns the verdict and the
+    /// restricted-history length the inference consumed.
+    fn validate(
+        &self,
+        ts: &TransactionSystem,
+        history: &History,
+        scope: &HashSet<TxnIdx>,
+    ) -> (bool, usize) {
         let restricted = restrict_history(ts, history, scope);
+        let inferred = restricted.len();
         let ss = SystemSchedules::infer_scoped(ts, &restricted, scope);
-        match self.mode {
+        let ok = match self.mode {
             CertifierMode::Paper => check_system_decentralized(ts, &ss).is_ok(),
             CertifierMode::Global => check_system_global(ts, &ss).is_ok(),
-        }
+        };
+        (ok, inferred)
     }
 
     /// One validation round. `hold` keeps the metadata lock across the
@@ -851,7 +907,11 @@ impl ShardedOptimisticCc {
         let deps = if self.snapshot.is_some() {
             Vec::new()
         } else {
-            let (preds, deps) = Self::incident_edges(ts, history, &plan.wait_scope, me);
+            let (preds, deps, inferred) = Self::incident_edges(ts, history, &plan.wait_scope, me);
+            shared
+                .metrics
+                .cert_actions_inferred
+                .fetch_add(inferred as u64, Ordering::Relaxed);
             if preds.iter().any(|p| plan.live_sharers.contains(p)) {
                 drop(held);
                 self.meta.lock().stats.waits += 1;
@@ -861,7 +921,11 @@ impl ShardedOptimisticCc {
             deps
         };
 
-        let ok = self.validate(ts, history, &plan.component);
+        let (ok, inferred) = self.validate(ts, history, &plan.component);
+        shared
+            .metrics
+            .cert_actions_inferred
+            .fetch_add(inferred as u64, Ordering::Relaxed);
 
         let mut guard = match held {
             Some(g) => g,
@@ -919,6 +983,137 @@ impl ShardedOptimisticCc {
             Ok(FinishOutcome::Abort)
         }
     }
+
+    /// The incremental twin of the lock-free round loop: ONE round under
+    /// the metadata lock, against the *live* record under the recorder
+    /// lock ([`oodb_model::Recorder::with_record`]). No staleness is
+    /// possible (a held round cannot go stale), so no epochs, no
+    /// revalidations — the maintained schedules consume only the actions
+    /// appended since the last attempt and every query filters them down
+    /// to the plan's scope. Side effects that re-enter the recorder
+    /// (version install/drop) stay outside the closure; lock order is
+    /// recorder → metadata, never the inverse.
+    fn try_finish_incremental(&self, shared: &EngineShared, txn: &TxnHandle) -> FinishOutcome {
+        enum Round {
+            Commit,
+            Wait,
+            Abort,
+        }
+        let me = txn.txn;
+        let round = shared.rec.with_record(|ts, history| {
+            let mut meta = self.meta.lock();
+            meta.stats.attempts += 1;
+            let before = meta.stats;
+            let out = meta.feed.feed(ts, history);
+            meta.stats.actions_inferred += out.fed as u64;
+            if out.reseeded {
+                meta.stats.incremental_reseeds += 1;
+            }
+            let plan = Self::plan(&meta, me);
+            let component = plan.component.len();
+            let me_root = ts.top_level()[me.as_usize()];
+            let cert_event = |outcome: CertOutcome| {
+                shared
+                    .trace
+                    .emit_txn(txn, || TraceEventKind::CertAttempt { component, outcome });
+            };
+
+            // commit dependency: a live shard-sharing predecessor may
+            // still compensate state `me` built on. Same scope as the
+            // from-scratch round (`plan.live_sharers`), but the edges
+            // come from the maintained schedules. Snapshot mode skips
+            // the check — nothing uncommitted is ever visible.
+            if self.snapshot.is_none() {
+                let inc = meta.feed.schedules();
+                let must_wait = inc
+                    .top_level_deps()
+                    .edges()
+                    .any(|(f, t)| *t == me_root && plan.live_sharers.contains(&ts.action(*f).txn));
+                if must_wait {
+                    meta.stats.waits += 1;
+                    OptimisticCc::publish_cert_round(shared, txn, before, meta.stats, true);
+                    drop(meta);
+                    cert_event(CertOutcome::Wait);
+                    return Round::Wait;
+                }
+            }
+
+            let ok = {
+                let inc = meta.feed.schedules();
+                match self.mode {
+                    CertifierMode::Paper => {
+                        check_incremental_decentralized(ts, inc, &plan.component).is_ok()
+                    }
+                    CertifierMode::Global => {
+                        check_incremental_global(ts, inc, &plan.component).is_ok()
+                    }
+                }
+            };
+
+            if ok {
+                meta.committed.insert(me);
+                meta.note_finalized(me, true);
+                for &s in &plan.my_shards {
+                    meta.epochs[s] += 1;
+                    shared.metrics.shard_commit(s);
+                }
+                meta.stats.commits += 1;
+                if plan.my_shards.len() > 1 {
+                    shared.metrics.cross_shard_inc();
+                }
+                OptimisticCc::publish_cert_round(shared, txn, before, meta.stats, true);
+                drop(meta);
+                cert_event(CertOutcome::Commit);
+                Round::Commit
+            } else {
+                // doom everyone who read our soon-compensated effects:
+                // live successors in the maintained edges (none in
+                // snapshot mode — the writes never left the buffer)
+                let mut doomed_now = Vec::new();
+                if self.snapshot.is_none() {
+                    let inc = meta.feed.schedules();
+                    for (f, t) in inc.top_level_deps().edges() {
+                        if *f == me_root {
+                            let d = ts.action(*t).txn;
+                            if d != me && meta.live.contains(&d) && !doomed_now.contains(&d) {
+                                doomed_now.push(d);
+                            }
+                        }
+                    }
+                }
+                meta.aborted.insert(me);
+                meta.note_finalized(me, false);
+                meta.touched.remove(&me);
+                meta.stats.aborts += 1;
+                for &d in &doomed_now {
+                    meta.doomed.insert(d);
+                }
+                OptimisticCc::publish_cert_round(shared, txn, before, meta.stats, true);
+                drop(meta);
+                cert_event(CertOutcome::Abort);
+                shared
+                    .metrics
+                    .cascade_dooms
+                    .fetch_add(doomed_now.len() as u64, Ordering::Relaxed);
+                for d in doomed_now {
+                    shared
+                        .trace
+                        .emit_txn(txn, || TraceEventKind::CascadeDoom { victim: d.0 as u64 });
+                }
+                Round::Abort
+            }
+        });
+        match round {
+            Round::Commit => {
+                if let Some(store) = &self.snapshot {
+                    versions::on_commit(store, shared, txn);
+                }
+                FinishOutcome::Committed
+            }
+            Round::Wait => FinishOutcome::Wait,
+            Round::Abort => FinishOutcome::Abort,
+        }
+    }
 }
 
 impl ConcurrencyControl for ShardedOptimisticCc {
@@ -951,6 +1146,9 @@ impl ConcurrencyControl for ShardedOptimisticCc {
         if self.snapshot.is_none() && self.meta.lock().doomed.contains(&txn.txn) {
             return FinishOutcome::Abort;
         }
+        if self.backend == CertBackend::Incremental {
+            return self.try_finish_incremental(shared, txn);
+        }
         let (ts, history) = shared.rec.snapshot();
         for round in 0..=OPTIMISTIC_ROUNDS {
             let hold = round == OPTIMISTIC_ROUNDS;
@@ -982,6 +1180,59 @@ impl ConcurrencyControl for ShardedOptimisticCc {
             versions::on_abort(store, shared, txn);
             return;
         }
+        if self.backend == CertBackend::Incremental {
+            // victim abort against the live record: feed the delta, read
+            // the cascade off the maintained edges (recorder → metadata
+            // lock order, as everywhere incremental)
+            let doomed_now = shared.rec.with_record(|ts, history| {
+                let mut meta = self.meta.lock();
+                if !meta.live.contains(&me) {
+                    // validation failure: the incremental round already
+                    // recorded the abort and doomed the cascade
+                    meta.doomed.remove(&me);
+                    return Vec::new();
+                }
+                let before = meta.stats;
+                let out = meta.feed.feed(ts, history);
+                meta.stats.actions_inferred += out.fed as u64;
+                if out.reseeded {
+                    meta.stats.incremental_reseeds += 1;
+                }
+                meta.aborted.insert(me);
+                meta.note_finalized(me, false);
+                meta.stats.aborts += 1;
+                meta.touched.remove(&me);
+                let me_root = ts.top_level()[me.as_usize()];
+                let mut doomed_now = Vec::new();
+                {
+                    let inc = meta.feed.schedules();
+                    for (f, t) in inc.top_level_deps().edges() {
+                        if *f == me_root {
+                            let d = ts.action(*t).txn;
+                            if d != me && meta.live.contains(&d) && !doomed_now.contains(&d) {
+                                doomed_now.push(d);
+                            }
+                        }
+                    }
+                }
+                for &d in &doomed_now {
+                    meta.doomed.insert(d);
+                }
+                meta.doomed.remove(&me); // this attempt is finished for good
+                OptimisticCc::publish_cert_round(shared, txn, before, meta.stats, true);
+                doomed_now
+            });
+            shared
+                .metrics
+                .cascade_dooms
+                .fetch_add(doomed_now.len() as u64, Ordering::Relaxed);
+            for d in doomed_now {
+                shared
+                    .trace
+                    .emit_txn(txn, || TraceEventKind::CascadeDoom { victim: d.0 as u64 });
+            }
+            return;
+        }
         let mut meta = self.meta.lock();
         let was_live = meta.live.contains(&me);
         let wait_scope = if was_live {
@@ -1007,7 +1258,11 @@ impl ConcurrencyControl for ShardedOptimisticCc {
         drop(meta);
         if let Some(scope) = wait_scope {
             let (ts, history) = shared.rec.snapshot();
-            let (_, deps) = Self::incident_edges(&ts, &history, &scope, me);
+            let (_, deps, inferred) = Self::incident_edges(&ts, &history, &scope, me);
+            shared
+                .metrics
+                .cert_actions_inferred
+                .fetch_add(inferred as u64, Ordering::Relaxed);
             let mut meta = self.meta.lock();
             let mut doomed_now = Vec::new();
             for d in deps {
@@ -1097,11 +1352,12 @@ impl Shardable for OptimisticCc {
     type Sharded = ShardedOptimisticCc;
 
     fn sharded(&self, shards: usize) -> ShardedOptimisticCc {
-        if self.is_snapshot() {
+        let cc = if self.is_snapshot() {
             ShardedOptimisticCc::snapshot_with_mode(shards, self.mode())
         } else {
             ShardedOptimisticCc::with_mode(shards, self.mode())
-        }
+        };
+        cc.with_certification(self.certification())
     }
 }
 

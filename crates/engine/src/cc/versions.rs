@@ -1,16 +1,17 @@
 //! The engine-side MVCC version store: per-key committed version
 //! chains, per-transaction buffered write sets, and watermark GC.
 //!
-//! Snapshot-mode concurrency controls ([`OptimisticCc::snapshot`]
-//! (crate::cc::OptimisticCc::snapshot) and its sharded sibling) keep one
+//! Snapshot-mode concurrency controls
+//! ([`OptimisticCc::snapshot`](crate::cc::OptimisticCc::snapshot) and
+//! its sharded sibling) keep one
 //! [`VersionStore`] next to the shared encyclopedia. The physical B-link
 //! tree holds only committed state — writers buffer — so the store does
 //! not duplicate values; it tracks the *version structure*: which
 //! transaction installed which key at which commit timestamp, what each
 //! live snapshot can see, and which versions the watermark has made
 //! unreachable. That is what answers snapshot reads (own write? newest
-//! committed version ≤ begin?), stamps [`TraceEventKind::VersionInstall`]
-//! (crate::trace::TraceEventKind::VersionInstall) events, and drives GC.
+//! committed version ≤ begin?), stamps
+//! [`TraceEventKind::VersionInstall`] events, and drives GC.
 
 use crate::cc::{EngineShared, TxnHandle};
 use crate::trace::TraceEventKind;

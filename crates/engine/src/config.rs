@@ -1,6 +1,7 @@
 //! Engine configuration: worker pool sizing, admission control, retry
 //! policy, and deadlines.
 
+pub use oodb_core::certifier::CertBackend;
 use std::time::Duration;
 
 /// Which concurrency-control strategy the engine runs, and at what
@@ -134,6 +135,11 @@ pub struct EngineConfig {
     /// execution (the default) or the legacy in-place mode with
     /// commit-dependency waits and cascading aborts.
     pub optimistic_exec: OptimisticExec,
+    /// How the optimistic certifiers derive dependency information:
+    /// incrementally maintained schedules fed per-attempt deltas (the
+    /// default) or the legacy from-scratch re-inference, kept as the
+    /// differential oracle (see `tests/cert_differential.rs`).
+    pub certification: CertBackend,
 }
 
 impl Default for EngineConfig {
@@ -151,6 +157,7 @@ impl Default for EngineConfig {
             audit: true,
             trace: TraceMode::Off,
             optimistic_exec: OptimisticExec::Snapshot,
+            certification: CertBackend::Incremental,
         }
     }
 }
@@ -179,5 +186,12 @@ mod tests {
         );
         assert_eq!(OptimisticExec::Snapshot.label(), "mvcc");
         assert_eq!(OptimisticExec::InPlace.label(), "in-place");
+        assert_eq!(
+            c.certification,
+            CertBackend::Incremental,
+            "incremental certification is the default; from-scratch is the oracle"
+        );
+        assert_eq!(CertBackend::Incremental.label(), "incremental");
+        assert_eq!(CertBackend::FromScratch.label(), "from-scratch");
     }
 }

@@ -50,7 +50,7 @@ pub use cc::{
     PessimisticCc, ShardRoute, Shardable, ShardedCc, ShardedOptimisticCc, ShardedPessimisticCc,
     TxnHandle, VersionStore,
 };
-pub use config::{CcKind, EngineConfig, OptimisticExec, TraceMode};
+pub use config::{CcKind, CertBackend, EngineConfig, OptimisticExec, TraceMode};
 pub use metrics::{EngineMetrics, Histogram, MetricsSnapshot, ShardLane, ShardLaneSnapshot};
 pub use queue::{Job, JobQueue};
 pub use trace::{
@@ -103,19 +103,26 @@ impl Engine {
     pub fn start(cfg: EngineConfig, kind: CcKind) -> Engine {
         let shards = cfg.shards.max(1);
         let mvcc = cfg.optimistic_exec == OptimisticExec::Snapshot;
+        let cert = cfg.certification;
         let cc: Arc<dyn ConcurrencyControl> = if shards > 1 {
             match kind {
                 CcKind::Pessimistic => Arc::new(ShardedPessimisticCc::semantic(shards)),
                 CcKind::PessimisticPage => Arc::new(ShardedPessimisticCc::page_level(shards)),
-                CcKind::Optimistic if mvcc => Arc::new(ShardedOptimisticCc::snapshot(shards)),
-                CcKind::Optimistic => Arc::new(ShardedOptimisticCc::new(shards)),
+                CcKind::Optimistic if mvcc => {
+                    Arc::new(ShardedOptimisticCc::snapshot(shards).with_certification(cert))
+                }
+                CcKind::Optimistic => {
+                    Arc::new(ShardedOptimisticCc::new(shards).with_certification(cert))
+                }
             }
         } else {
             match kind {
                 CcKind::Pessimistic => Arc::new(PessimisticCc::semantic()),
                 CcKind::PessimisticPage => Arc::new(PessimisticCc::page_level()),
-                CcKind::Optimistic if mvcc => Arc::new(OptimisticCc::snapshot()),
-                CcKind::Optimistic => Arc::new(OptimisticCc::new()),
+                CcKind::Optimistic if mvcc => {
+                    Arc::new(OptimisticCc::snapshot().with_certification(cert))
+                }
+                CcKind::Optimistic => Arc::new(OptimisticCc::new().with_certification(cert)),
             }
         };
         Self::start_with(cfg, cc)

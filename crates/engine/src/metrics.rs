@@ -159,6 +159,15 @@ pub struct EngineMetrics {
     pub version_installs: AtomicU64,
     /// Versions reclaimed by watermark GC.
     pub versions_gcd: AtomicU64,
+    /// Actions fed to certification-time dependency inference, summed
+    /// over every decision: restricted-history lengths under the
+    /// from-scratch backend, per-attempt deltas (plus reseed replays)
+    /// under the incremental one. The B13 cost measure.
+    pub cert_actions_inferred: AtomicU64,
+    /// Times an incremental certifier rebuilt its live schedules from
+    /// the restricted history (garbage from excluded transactions
+    /// outgrew the live edges).
+    pub cert_incremental_reseeds: AtomicU64,
     /// Current admission-queue depth (gauge). Shared with the
     /// [`JobQueue`](crate::JobQueue), which keeps it current on every
     /// push, pop, and shed — not just when a worker happens to pop.
@@ -195,6 +204,8 @@ impl EngineMetrics {
             cascade_dooms: AtomicU64::new(0),
             version_installs: AtomicU64::new(0),
             versions_gcd: AtomicU64::new(0),
+            cert_actions_inferred: AtomicU64::new(0),
+            cert_incremental_reseeds: AtomicU64::new(0),
             queue_depth: Arc::new(AtomicUsize::new(0)),
             lock_wait: Histogram::default(),
             e2e: Histogram::default(),
@@ -254,6 +265,8 @@ impl EngineMetrics {
             cascade_dooms: self.cascade_dooms.load(Ordering::Relaxed),
             version_installs: self.version_installs.load(Ordering::Relaxed),
             versions_gcd: self.versions_gcd.load(Ordering::Relaxed),
+            cert_actions_inferred: self.cert_actions_inferred.load(Ordering::Relaxed),
+            cert_incremental_reseeds: self.cert_incremental_reseeds.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             throughput_per_sec: committed as f64 / elapsed.as_secs_f64().max(1e-9),
             lock_wait_p50: self.lock_wait.quantile(0.50),
@@ -299,6 +312,10 @@ pub struct MetricsSnapshot {
     pub version_installs: u64,
     /// Versions reclaimed by watermark GC.
     pub versions_gcd: u64,
+    /// Actions fed to certification-time dependency inference.
+    pub cert_actions_inferred: u64,
+    /// Incremental-certifier reseeds (schedule rebuilds).
+    pub cert_incremental_reseeds: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Committed transactions per second since engine start.
@@ -329,6 +346,16 @@ impl MetricsSnapshot {
         let _ = write!(s, "\"cascade_dooms\":{},", self.cascade_dooms);
         let _ = write!(s, "\"version_installs\":{},", self.version_installs);
         let _ = write!(s, "\"versions_gcd\":{},", self.versions_gcd);
+        let _ = write!(
+            s,
+            "\"cert_actions_inferred\":{},",
+            self.cert_actions_inferred
+        );
+        let _ = write!(
+            s,
+            "\"cert_incremental_reseeds\":{},",
+            self.cert_incremental_reseeds
+        );
         let _ = write!(s, "\"queue_depth\":{},", self.queue_depth);
         let _ = write!(s, "\"throughput_per_sec\":{:.3},", self.throughput_per_sec);
         let _ = write!(s, "\"lock_wait_p50_ns\":{},", self.lock_wait_p50.as_nanos());
@@ -382,6 +409,13 @@ impl std::fmt::Display for MetricsSnapshot {
                 f,
                 " versions {} (gc'd {})",
                 self.version_installs, self.versions_gcd
+            )?;
+        }
+        if self.cert_actions_inferred > 0 {
+            write!(
+                f,
+                " cert-inferred {} (reseeds {})",
+                self.cert_actions_inferred, self.cert_incremental_reseeds
             )?;
         }
         if !self.shards.is_empty() {
@@ -475,6 +509,8 @@ mod tests {
             "\"cascade_dooms\":",
             "\"version_installs\":",
             "\"versions_gcd\":",
+            "\"cert_actions_inferred\":",
+            "\"cert_incremental_reseeds\":",
             "\"queue_depth\":",
             "\"throughput_per_sec\":",
             "\"lock_wait_p50_ns\":",

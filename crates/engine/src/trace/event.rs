@@ -179,6 +179,22 @@ pub enum TraceEventKind {
         /// How the round ended.
         outcome: CertOutcome,
     },
+    /// The incremental certifier consumed the recorder delta appended
+    /// since its last attempt — the per-commit inference cost made
+    /// visible. `fed` counts primitive executions fed to the schedule
+    /// maintenance this round (O(new actions), versus the from-scratch
+    /// backend re-inferring the whole restricted history every attempt);
+    /// `reseeded` marks the rounds that first rebuilt the live schedules
+    /// because garbage from excluded (aborted/settled) transactions
+    /// outgrew the live state.
+    CertDelta {
+        /// Primitive executions fed this round (including a reseed's
+        /// full replay when `reseeded` is set).
+        fed: u64,
+        /// True when the feed replayed the restricted history from
+        /// scratch before consuming the tail.
+        reseeded: bool,
+    },
     /// The worker polled the protocol and was told to wait for a live
     /// commit-dependency predecessor.
     CommitDepWait {
@@ -239,6 +255,7 @@ impl TraceEventKind {
             TraceEventKind::WoundIssued { .. } => "wound_issued",
             TraceEventKind::WoundReceived { .. } => "wound_received",
             TraceEventKind::CertAttempt { .. } => "cert_attempt",
+            TraceEventKind::CertDelta { .. } => "cert_delta",
             TraceEventKind::CommitDepWait { .. } => "commit_dep_wait",
             TraceEventKind::CascadeDoom { .. } => "cascade_doom",
             TraceEventKind::VersionInstall { .. } => "version_install",
@@ -335,6 +352,14 @@ mod tests {
             }
             .name(),
             "version_gc"
+        );
+        assert_eq!(
+            TraceEventKind::CertDelta {
+                fed: 3,
+                reseeded: false,
+            }
+            .name(),
+            "cert_delta"
         );
     }
 

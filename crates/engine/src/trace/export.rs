@@ -98,6 +98,10 @@ fn payload(out: &mut String, kind: &TraceEventKind, timing: bool) {
             put_u64(out, "component", *component as u64);
             put_str(out, "outcome", outcome.label());
         }
+        TraceEventKind::CertDelta { fed, reseeded } => {
+            put_u64(out, "fed", *fed);
+            put_bool(out, "reseeded", *reseeded);
+        }
         TraceEventKind::CommitDepWait { round } => put_u64(out, "round", *round as u64),
         TraceEventKind::CascadeDoom { victim } => put_u64(out, "victim", *victim),
         TraceEventKind::VersionInstall {

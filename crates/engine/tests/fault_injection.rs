@@ -9,8 +9,8 @@
 use oodb_btree::{CompensatedEncyclopedia, Encyclopedia, EncyclopediaConfig};
 use oodb_core::ids::TxnIdx;
 use oodb_engine::{
-    audit, shard_of_key, ConcurrencyControl, Engine, EngineConfig, EngineMetrics, EngineShared,
-    FinishOutcome, OpGrant, ShardedOptimisticCc, ShardedPessimisticCc, TxnHandle,
+    audit, shard_of_key, CertBackend, ConcurrencyControl, Engine, EngineConfig, EngineMetrics,
+    EngineShared, FinishOutcome, OpGrant, ShardedOptimisticCc, ShardedPessimisticCc, TxnHandle,
 };
 use oodb_lock::OwnerId;
 use oodb_sim::exec::apply_op;
@@ -346,6 +346,146 @@ fn injected_abort_trace_still_matches_audit() {
         );
         assert!(check.matched > 0, "the churn produces dependency edges");
     }
+}
+
+/// The injected mid-flight abort, replayed explicitly under both
+/// certification backends: the incremental feed's re-seed/exclusion
+/// path must leave no stale dependencies behind — the trace-derived
+/// graph still matches the audit edge-for-edge, the certifier drains
+/// clean, and the legacy oracle never touches incremental machinery.
+#[test]
+fn injected_abort_under_both_cert_backends_stays_clean() {
+    let shards = 4;
+    for backend in [CertBackend::Incremental, CertBackend::FromScratch] {
+        let cc = Arc::new(ShardedOptimisticCc::new(shards).with_certification(backend));
+        cc.inject_fault_after(0, 0, 2);
+        let out = traced_abort_run(cc.clone(), shards);
+        let label = backend.label();
+        assert!(
+            out.metrics.retries >= 1,
+            "{label}: the injected abort fired"
+        );
+        assert_eq!(
+            out.metrics.committed, 5,
+            "{label}: victim's retry and the rest commit"
+        );
+        assert_eq!(cc.live_entries(), 0, "{label}: no attempt left live");
+        assert_eq!(cc.orphaned_entries(), 0, "{label}: no orphaned footprints");
+        let (stats, _) = cc.stats();
+        assert!(stats.aborts >= 1, "{label}: the victim abort was recorded");
+        match backend {
+            CertBackend::Incremental => {
+                assert!(
+                    stats.actions_inferred > 0,
+                    "{label}: inference went through the maintained schedule"
+                );
+                assert_eq!(
+                    out.metrics.cert_actions_inferred, stats.actions_inferred,
+                    "{label}: engine metrics mirror the certifier's accounting"
+                );
+            }
+            CertBackend::FromScratch => {
+                assert_eq!(
+                    stats.incremental_reseeds, 0,
+                    "{label}: the oracle never re-seeds"
+                );
+                assert_eq!(out.metrics.cert_incremental_reseeds, 0, "{label}");
+            }
+        }
+        let log = out.trace.expect("ring sink captured a trace");
+        assert_eq!(log.dropped, 0);
+        let audit_out = out.audit.expect("audit enabled");
+        let check = oodb_engine::cross_check(&log.events, &audit_out);
+        assert!(
+            check.ok(),
+            "{label}: trace/audit graphs diverge after injected abort: {check}"
+        );
+        assert!(
+            audit_out.report.oo_decentralized.is_ok() && audit_out.report.oo_global.is_ok(),
+            "{label}: merged committed projection stays oo-serializable"
+        );
+    }
+}
+
+/// Direct-drive of the incremental feed's garbage path: repeated
+/// mid-flight victim aborts (interleaved with commits that settle and
+/// get excluded in turn) must trip the feed's garbage threshold and
+/// re-seed the maintained schedule — after which a fresh transaction
+/// still validates against a graph with no stale dependencies from any
+/// aborted attempt, and the audit agrees.
+#[test]
+fn direct_drive_incremental_reseed_after_repeated_aborts() {
+    let shards = 3;
+    let keys = keys_on_distinct_shards(shards);
+    let cc = ShardedOptimisticCc::new(shards);
+    assert_eq!(cc.certification(), CertBackend::Incremental, "default");
+    let shared = shared_with(shards);
+    let mut setup = shared.rec.begin_txn("Setup");
+    let sh = handle(&setup, u64::MAX, 0);
+    for k in &keys {
+        let op = EncOp::Insert(k.clone());
+        assert_eq!(cc.before_op(&shared, &sh, &op), OpGrant::Granted);
+        apply_op(&mut shared.enc.lock(), &mut setup, &op, 0);
+    }
+    assert_eq!(cc.try_finish(&shared, &sh), FinishOutcome::Committed);
+    shared.enc.lock().commit(setup);
+    cc.after_commit(&shared, &sh);
+
+    for j in 0..16u64 {
+        let mut t = shared.rec.begin_txn(format!("J{}", j + 1));
+        let h = handle(&t, j, 0);
+        for k in keys.iter().take(2) {
+            let op = EncOp::Change(k.clone());
+            assert_eq!(cc.before_op(&shared, &h, &op), OpGrant::Granted);
+            apply_op(&mut shared.enc.lock(), &mut t, &op, (j + 1) as usize);
+        }
+        if j % 2 == 0 {
+            // mid-flight victim abort: compensate, then notify the cc
+            {
+                let mut enc = shared.enc.lock();
+                let mut comp = shared.rec.begin_txn(format!("C(J{}a0)", j + 1));
+                enc.abort(t, &mut comp);
+            }
+            cc.after_abort(&shared, &h);
+            assert!(cc.was_aborted(h.txn), "victim registered as aborted");
+        } else {
+            assert_eq!(cc.try_finish(&shared, &h), FinishOutcome::Committed);
+            shared.enc.lock().commit(t);
+            cc.after_commit(&shared, &h);
+        }
+        assert_eq!(cc.live_entries(), 0, "round {j}: nothing stays live");
+        assert_eq!(cc.orphaned_entries(), 0, "round {j}: no orphans");
+    }
+    let (stats, _) = cc.stats();
+    assert!(
+        stats.incremental_reseeds >= 1,
+        "excluded garbage from repeated aborts must trigger a re-seed \
+         (got {} reseeds over {} inferred actions)",
+        stats.incremental_reseeds,
+        stats.actions_inferred
+    );
+    assert!(stats.actions_inferred > 0);
+    assert_eq!(stats.aborts, 8, "every even-numbered attempt aborted");
+    assert_eq!(stats.commits, 9, "Setup + every odd-numbered attempt");
+
+    // post-reseed: a fresh cross-shard transaction commits cleanly
+    let mut r = shared.rec.begin_txn("Final");
+    let hr = handle(&r, 99, 0);
+    for k in &keys {
+        let op = EncOp::Change(k.clone());
+        assert_eq!(cc.before_op(&shared, &hr, &op), OpGrant::Granted);
+        apply_op(&mut shared.enc.lock(), &mut r, &op, 99);
+    }
+    assert_eq!(cc.try_finish(&shared, &hr), FinishOutcome::Committed);
+    shared.enc.lock().commit(r);
+    cc.after_commit(&shared, &hr);
+    assert_eq!(cc.orphaned_entries(), 0);
+
+    let out = audit(&shared.rec, &cc);
+    assert!(
+        out.report.oo_decentralized.is_ok() && out.report.oo_global.is_ok(),
+        "record with 8 compensated aborts stays oo-serializable"
+    );
 }
 
 fn handle(ctx: &oodb_model::TxnCtx, job: u64, attempt: u32) -> TxnHandle {

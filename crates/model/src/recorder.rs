@@ -82,6 +82,18 @@ impl Recorder {
         (inner.ts.clone(), inner.history.clone())
     }
 
+    /// Run `f` against the live record under the recorder lock, without
+    /// cloning anything. This is the delta-extraction entry point for
+    /// incremental certification: the history is append-only, so a
+    /// caller tracking its last-seen position reads exactly the suffix
+    /// appended since — O(new actions) instead of the O(history) clone
+    /// of [`Recorder::snapshot`]. Keep `f` short: recording blocks while
+    /// it runs, and it must not call back into this recorder.
+    pub fn with_record<R>(&self, f: impl FnOnce(&TransactionSystem, &History) -> R) -> R {
+        let inner = self.inner.lock();
+        f(&inner.ts, &inner.history)
+    }
+
     /// Consume the recorder (if this is the last handle) or clone,
     /// returning the recorded system and history.
     pub fn finish(self) -> (TransactionSystem, History) {
