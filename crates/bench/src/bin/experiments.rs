@@ -1,5 +1,5 @@
 //! Experiment driver: regenerate the paper's figures and the quantitative
-//! tables. Usage: `experiments [fig1|fig2|fig4|fig5|fig6|fig7|fig8|gap|b1|b2|b3|b4|b5|…|b13|all]…`
+//! tables. Usage: `experiments [fig1|fig2|fig4|fig5|fig6|fig7|fig8|gap|b1|b2|b3|b4|b5|…|b14|all]…`
 
 use oodb_bench::{figures, quant};
 
@@ -26,13 +26,14 @@ fn run(id: &str) -> Option<String> {
         "b11" => quant::b11(),
         "b12" => quant::b12(),
         "b13" => quant::b13(),
+        "b14" => quant::b14(),
         _ => return None,
     })
 }
 
-const ALL: [&str; 21] = [
+const ALL: [&str; 22] = [
     "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "gap", "b1", "b2", "b3", "b4", "b5",
-    "b6", "b7", "b8", "b9", "b10", "b11", "b12", "b13",
+    "b6", "b7", "b8", "b9", "b10", "b11", "b12", "b13", "b14",
 ];
 
 fn main() {

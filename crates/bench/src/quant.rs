@@ -963,6 +963,113 @@ pub fn b13() -> String {
     )
 }
 
+/// One B14 run: an uncontended update-heavy workload (so all 8 workers
+/// reach their commit points concurrently) under a chosen durability
+/// mode, with a simulated 200µs fsync. Uncontended on purpose: B14
+/// measures the *device* amortization, so lock conflicts must not
+/// serialize the committers first.
+pub fn b14_run(mode: oodb_engine::DurabilityMode, txns: usize) -> oodb_engine::EngineOutput {
+    use oodb_engine::{CcKind, EngineConfig};
+    let w = encyclopedia_workload(&EncWorkloadConfig {
+        txns,
+        ops_per_txn: 4,
+        key_space: 512,
+        preload: 64,
+        mix: EncMix::update_heavy(),
+        skew: Skew::Uniform,
+        seed: 1415,
+    });
+    let cfg = EngineConfig {
+        workers: 8,
+        queue_capacity: 64,
+        seed: 1415,
+        durability: mode,
+        fsync_latency: if mode.is_on() {
+            std::time::Duration::from_micros(200)
+        } else {
+            std::time::Duration::ZERO
+        },
+        ..EngineConfig::default()
+    };
+    let engine = oodb_engine::Engine::start(cfg, CcKind::Pessimistic);
+    engine.preload(&w.preload_keys);
+    for ops in &w.txn_ops {
+        engine
+            .submit_blocking(ops.clone())
+            .expect("engine accepts work until shutdown");
+    }
+    engine.shutdown()
+}
+
+/// **B14** — group commit amortizes the fsync. Every commit is
+/// acknowledged only once its write-ahead-log commit record is durable;
+/// the per-commit baseline forces the device once per logged commit,
+/// while the leader/follower batcher lets one fsync cover a whole batch
+/// of concurrent committers. With a 200µs device, fsyncs-per-commit
+/// must fall strictly as the batch bound grows — and `off` must stay
+/// the exact pre-durability engine (zero WAL work). Every durable run's
+/// log is replayed through crash recovery and its committed projection
+/// re-audited.
+pub fn b14() -> String {
+    use oodb_engine::DurabilityMode;
+
+    const TXNS: usize = 96;
+    let mut t = Table::new(&[
+        "durability",
+        "committed",
+        "wal-recs",
+        "wal-bytes",
+        "fsyncs",
+        "fsyncs/commit",
+        "group-mean",
+        "throughput/s",
+        "recovered",
+    ]);
+    for mode in [
+        DurabilityMode::Off,
+        DurabilityMode::PerCommit,
+        DurabilityMode::Group {
+            max_batch: 4,
+            max_wait: std::time::Duration::from_millis(5),
+        },
+        DurabilityMode::Group {
+            max_batch: 16,
+            max_wait: std::time::Duration::from_millis(5),
+        },
+    ] {
+        let out = b14_run(mode, TXNS);
+        let recovered = match out.wal.as_ref() {
+            Some(image) => {
+                let r = oodb_engine::recover(image, oodb_engine::EngineConfig::default().fanout);
+                (r.consistent() && r.final_state == out.final_state).to_string()
+            }
+            None => "n/a".to_string(),
+        };
+        let commits = out.metrics.committed.max(1);
+        t.row(vec![
+            mode.label(),
+            out.metrics.committed.to_string(),
+            out.metrics.wal_appends.to_string(),
+            out.metrics.wal_bytes.to_string(),
+            out.metrics.fsyncs.to_string(),
+            format!("{:.3}", out.metrics.fsyncs as f64 / commits as f64),
+            format!("{:.1}", out.metrics.wal_group_mean),
+            f3(out.metrics.throughput_per_sec),
+            recovered,
+        ]);
+    }
+    format!(
+        "B14 — group commit amortizes the fsync ({TXNS} update-heavy\n\
+         uncontended transactions, 8 workers, simulated 200µs fsync;\n\
+         fsyncs/commit is the amortization ratio, group-mean the average\n\
+         commits per device flush; `recovered` replays the run's WAL\n\
+         through crash recovery and checks state equality plus the\n\
+         committed-projection audit; `off` is the memory-only baseline)\n\
+         \n{}",
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1183,6 +1290,41 @@ mod tests {
         assert!(
             ratio >= 0.5,
             "ring-traced run fell below half of untraced throughput: {ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn b14_group_commit_amortizes_fsyncs() {
+        use oodb_engine::DurabilityMode;
+        const TXNS: usize = 96;
+        // off must be the exact pre-durability engine
+        let off = b14_run(DurabilityMode::Off, TXNS);
+        assert!(off.wal.is_none());
+        assert_eq!(off.metrics.wal_appends, 0);
+        assert_eq!(off.metrics.fsyncs, 0);
+        // fsyncs per commit must fall strictly as the batch bound grows
+        let ratio = |mode| {
+            let out = b14_run(mode, TXNS);
+            assert!(out.metrics.committed > 0);
+            let image = out.wal.as_ref().expect("durable run keeps its log");
+            let r = oodb_engine::recover(image, oodb_engine::EngineConfig::default().fanout);
+            assert!(r.consistent(), "{}: recovery audit failed", out.cc_name);
+            assert_eq!(r.final_state, out.final_state, "replay must match");
+            out.metrics.fsyncs as f64 / out.metrics.committed as f64
+        };
+        let per_commit = ratio(DurabilityMode::PerCommit);
+        let group4 = ratio(DurabilityMode::Group {
+            max_batch: 4,
+            max_wait: std::time::Duration::from_millis(5),
+        });
+        let group16 = ratio(DurabilityMode::Group {
+            max_batch: 16,
+            max_wait: std::time::Duration::from_millis(5),
+        });
+        assert!(
+            per_commit > group4 && group4 > group16,
+            "fsyncs/commit must strictly decrease with batch size: \
+             per-commit {per_commit:.3} vs group(4) {group4:.3} vs group(16) {group16:.3}"
         );
     }
 

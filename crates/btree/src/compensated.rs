@@ -56,6 +56,13 @@ impl CompensatedEncyclopedia {
         self.log.pending(ctx.txn_number())
     }
 
+    /// The inverse captured for the transaction's most recent effectful
+    /// operation — what the engine's write-ahead logger pairs with the
+    /// redo record it appends right after executing the operation.
+    pub fn last_inverse(&self, ctx: &TxnCtx) -> Option<&oodb_core::compensation::Inverse> {
+        self.log.last(ctx.txn_number())
+    }
+
     /// Insert; logs `delete(key)` as the inverse.
     pub fn insert(&mut self, ctx: &mut TxnCtx, k: &str, text: &str) -> Option<ItemId> {
         let id = self.enc.insert(ctx, k, text)?;

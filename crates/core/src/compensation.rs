@@ -101,6 +101,14 @@ impl CompensationLog {
         self.stacks.get(&txn).map(Vec::len).unwrap_or(0)
     }
 
+    /// The most recently pushed inverse for `txn` — the compensation of
+    /// the transaction's latest registered effect. The engine's
+    /// write-ahead logger reads this right after executing an operation
+    /// to pair the redo record with its inverse.
+    pub fn last(&self, txn: u32) -> Option<&Inverse> {
+        self.stacks.get(&txn).and_then(|s| s.last())
+    }
+
     /// Take the compensation plan for an aborting transaction: the
     /// inverses in reverse commit order. The log entry is consumed.
     pub fn abort_plan(&mut self, txn: u32) -> Vec<Inverse> {

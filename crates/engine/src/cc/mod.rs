@@ -45,6 +45,9 @@ pub struct EngineShared {
     pub metrics: EngineMetrics,
     /// Structured lifecycle tracing (the disabled tracer by default).
     pub trace: Tracer,
+    /// The write-ahead log, when [`DurabilityMode`](crate::DurabilityMode)
+    /// is not `Off`. `None` keeps commits memory-only with zero overhead.
+    pub dur: Option<crate::durability::Durability>,
 }
 
 /// Identity of one transaction *attempt* (each retry gets a fresh

@@ -62,6 +62,49 @@ impl OptimisticExec {
     }
 }
 
+/// When (and whether) commits wait for the write-ahead log (see
+/// [`crate::durability`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// No logging at all: commits are memory-only, exactly the
+    /// pre-durability engine. The default, so benchmarks that do not
+    /// measure durability keep their numbers.
+    #[default]
+    Off,
+    /// Every committing transaction forces the log itself before it is
+    /// acknowledged — exactly one fsync per logged commit, serialized on
+    /// the device. The unbatched baseline experiment B14 measures group
+    /// commit against.
+    PerCommit,
+    /// Leader/follower group commit: the first committer to reach the
+    /// log becomes the leader and waits for up to `max_batch - 1`
+    /// followers (or `max_wait`, whichever first) before issuing one
+    /// fsync for the whole batch.
+    Group {
+        /// Flush once this many commits are parked (including the
+        /// leader).
+        max_batch: usize,
+        /// Flush after this long even if the batch is short.
+        max_wait: Duration,
+    },
+}
+
+impl DurabilityMode {
+    /// Short label used in metrics and experiment tables.
+    pub fn label(self) -> String {
+        match self {
+            DurabilityMode::Off => "off".to_string(),
+            DurabilityMode::PerCommit => "per-commit".to_string(),
+            DurabilityMode::Group { max_batch, .. } => format!("group({max_batch})"),
+        }
+    }
+
+    /// True when commits go through the write-ahead log.
+    pub fn is_on(self) -> bool {
+        self != DurabilityMode::Off
+    }
+}
+
 /// Where trace events go (see [`crate::trace`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TraceMode {
@@ -140,6 +183,15 @@ pub struct EngineConfig {
     /// default) or the legacy from-scratch re-inference, kept as the
     /// differential oracle (see `tests/cert_differential.rs`).
     pub certification: CertBackend,
+    /// Commit durability: [`DurabilityMode::Off`] (the default) keeps
+    /// commits memory-only; the other modes append redo + compensation
+    /// records to a write-ahead log inside the database critical section
+    /// and acknowledge a commit only once its commit record is durable
+    /// (see [`crate::durability`]).
+    pub durability: DurabilityMode,
+    /// Simulated latency of one log force (fsync). Zero by default so
+    /// tests run fast; B14 raises it to make batching visible.
+    pub fsync_latency: Duration,
 }
 
 impl Default for EngineConfig {
@@ -158,6 +210,8 @@ impl Default for EngineConfig {
             trace: TraceMode::Off,
             optimistic_exec: OptimisticExec::Snapshot,
             certification: CertBackend::Incremental,
+            durability: DurabilityMode::Off,
+            fsync_latency: Duration::ZERO,
         }
     }
 }
@@ -193,5 +247,22 @@ mod tests {
         );
         assert_eq!(CertBackend::Incremental.label(), "incremental");
         assert_eq!(CertBackend::FromScratch.label(), "from-scratch");
+        assert_eq!(
+            c.durability,
+            DurabilityMode::Off,
+            "durability is opt-in so existing benches keep their numbers"
+        );
+        assert_eq!(c.fsync_latency, Duration::ZERO);
+        assert!(!DurabilityMode::Off.is_on());
+        assert!(DurabilityMode::PerCommit.is_on());
+        assert_eq!(DurabilityMode::PerCommit.label(), "per-commit");
+        assert_eq!(
+            DurabilityMode::Group {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+            }
+            .label(),
+            "group(8)"
+        );
     }
 }

@@ -39,6 +39,7 @@
 pub mod audit;
 pub mod cc;
 pub mod config;
+pub mod durability;
 pub mod metrics;
 pub mod queue;
 pub mod trace;
@@ -50,7 +51,8 @@ pub use cc::{
     PessimisticCc, ShardRoute, Shardable, ShardedCc, ShardedOptimisticCc, ShardedPessimisticCc,
     TxnHandle, VersionStore,
 };
-pub use config::{CcKind, CertBackend, EngineConfig, OptimisticExec, TraceMode};
+pub use config::{CcKind, CertBackend, DurabilityMode, EngineConfig, OptimisticExec, TraceMode};
+pub use durability::{recover, recover_traced, Durability, RecoveryOutcome, ReplayStats};
 pub use metrics::{EngineMetrics, Histogram, MetricsSnapshot, ShardLane, ShardLaneSnapshot};
 pub use queue::{Job, JobQueue};
 pub use trace::{
@@ -89,6 +91,10 @@ pub struct EngineOutput {
     /// (drained after the workers joined; export with
     /// [`trace::export::to_jsonl`] / [`trace::export::to_chrome_trace`]).
     pub trace: Option<TraceLog>,
+    /// The complete write-ahead log image, when
+    /// [`EngineConfig::durability`] enabled one — replayable with
+    /// [`durability::recover`] into an equivalent database.
+    pub wal: Option<Vec<u8>>,
     /// The concurrency-control strategy that ran.
     pub cc_name: &'static str,
 }
@@ -149,6 +155,10 @@ impl Engine {
             enc: Mutex::new(CompensatedEncyclopedia::new(enc)),
             metrics,
             trace: Tracer::from_mode(&cfg.trace, cfg.workers.max(1)),
+            dur: cfg
+                .durability
+                .is_on()
+                .then(|| durability::Durability::new(cfg.durability, cfg.fsync_latency)),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -237,6 +247,17 @@ impl Engine {
         self.shared.metrics.snapshot()
     }
 
+    /// Simulate a crash while the engine is still running: the jobs
+    /// acknowledged as committed so far plus the **durable** log prefix
+    /// (the volatile tail is lost, exactly as a power cut would). `None`
+    /// when durability is off. The snapshot orders acks before the log
+    /// read, so every returned job's commit record is inside the
+    /// returned image — feed it to [`durability::recover`] and the
+    /// acknowledged work must all be there.
+    pub fn crash_probe(&self) -> Option<(Vec<u64>, Vec<u8>)> {
+        self.shared.dur.as_ref().map(|d| d.crash_probe())
+    }
+
     /// The strategy name (`"pessimistic"`, `"optimistic"`, ...).
     pub fn cc_name(&self) -> &'static str {
         self.cc.name()
@@ -269,11 +290,13 @@ impl Engine {
             items.sort();
             items
         };
+        let wal = self.shared.dur.as_ref().map(|d| d.image());
         EngineOutput {
             metrics,
             audit,
             final_state,
             trace,
+            wal,
             cc_name: self.cc.name(),
         }
     }

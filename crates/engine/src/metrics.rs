@@ -29,10 +29,39 @@ impl Default for Histogram {
 impl Histogram {
     /// Record one duration.
     pub fn record(&self, d: Duration) {
-        let ns = d.as_nanos().max(1) as u64;
-        let idx = (63 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.record_value(d.as_nanos() as u64);
+    }
+
+    /// Record one dimensionless value into its log₂ bucket (zero counts
+    /// into bucket 0). The same structure also serves non-latency
+    /// distributions — e.g. commits per group-commit flush — where
+    /// [`bucket_counts`](Histogram::bucket_counts) and
+    /// [`mean`](Histogram::mean) are the useful views.
+    pub fn record_value(&self, v: u64) {
+        let v = v.max(1);
+        let idx = (63 - v.leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Approximate mean of the recorded values (geometric bucket
+    /// midpoints weighted by count); 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let mut sum = 0.0f64;
+        let mut n = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                let lo = (1u64 << i) as f64;
+                sum += c as f64 * lo * 1.5;
+                n += c;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
     }
 
     /// Number of recorded samples.
@@ -168,6 +197,20 @@ pub struct EngineMetrics {
     /// the restricted history (garbage from excluded transactions
     /// outgrew the live edges).
     pub cert_incremental_reseeds: AtomicU64,
+    /// Write-ahead-log records appended (redo/compensation payloads and
+    /// lifecycle markers; zero with durability off).
+    pub wal_appends: AtomicU64,
+    /// Write-ahead-log bytes appended, including framing overhead.
+    pub wal_bytes: AtomicU64,
+    /// Log forces (simulated fsyncs) issued by the group-commit batcher.
+    pub fsyncs: AtomicU64,
+    /// Flushes that made at least one commit record durable (each one
+    /// also records its commit count in `wal_group_size`).
+    pub group_commits: AtomicU64,
+    /// Distribution of commits acknowledged per log flush — the
+    /// group-commit amortization made visible (recorded via
+    /// [`Histogram::record_value`]; buckets are counts, not ns).
+    pub wal_group_size: Histogram,
     /// Current admission-queue depth (gauge). Shared with the
     /// [`JobQueue`](crate::JobQueue), which keeps it current on every
     /// push, pop, and shed — not just when a worker happens to pop.
@@ -206,6 +249,11 @@ impl EngineMetrics {
             versions_gcd: AtomicU64::new(0),
             cert_actions_inferred: AtomicU64::new(0),
             cert_incremental_reseeds: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
+            wal_group_size: Histogram::default(),
             queue_depth: Arc::new(AtomicUsize::new(0)),
             lock_wait: Histogram::default(),
             e2e: Histogram::default(),
@@ -267,6 +315,12 @@ impl EngineMetrics {
             versions_gcd: self.versions_gcd.load(Ordering::Relaxed),
             cert_actions_inferred: self.cert_actions_inferred.load(Ordering::Relaxed),
             cert_incremental_reseeds: self.cert_incremental_reseeds.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            wal_group_mean: self.wal_group_size.mean(),
+            wal_group_buckets: self.wal_group_size.bucket_counts(),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             throughput_per_sec: committed as f64 / elapsed.as_secs_f64().max(1e-9),
             lock_wait_p50: self.lock_wait.quantile(0.50),
@@ -316,6 +370,19 @@ pub struct MetricsSnapshot {
     pub cert_actions_inferred: u64,
     /// Incremental-certifier reseeds (schedule rebuilds).
     pub cert_incremental_reseeds: u64,
+    /// Write-ahead-log records appended (zero with durability off).
+    pub wal_appends: u64,
+    /// Write-ahead-log bytes appended, including framing.
+    pub wal_bytes: u64,
+    /// Log forces (simulated fsyncs) issued.
+    pub fsyncs: u64,
+    /// Flushes that made at least one commit record durable.
+    pub group_commits: u64,
+    /// Mean commits acknowledged per such flush (0.0 when none).
+    pub wal_group_mean: f64,
+    /// Log₂-bucket counts of commits per flush (`buckets[i]` = flushes
+    /// that covered `[2^i, 2^(i+1))` commits).
+    pub wal_group_buckets: [u64; 64],
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Committed transactions per second since engine start.
@@ -356,6 +423,26 @@ impl MetricsSnapshot {
             "\"cert_incremental_reseeds\":{},",
             self.cert_incremental_reseeds
         );
+        let _ = write!(s, "\"wal_appends\":{},", self.wal_appends);
+        let _ = write!(s, "\"wal_bytes\":{},", self.wal_bytes);
+        let _ = write!(s, "\"fsyncs\":{},", self.fsyncs);
+        let _ = write!(s, "\"group_commits\":{},", self.group_commits);
+        let _ = write!(s, "\"wal_group_mean\":{:.3},", self.wal_group_mean);
+        // Trailing zero buckets carry no information; emit the prefix up
+        // to the last non-empty one so the array stays readable.
+        s.push_str("\"wal_group_buckets\":[");
+        let last = self
+            .wal_group_buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1);
+        for (i, c) in self.wal_group_buckets[..last].iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{c}");
+        }
+        s.push_str("],");
         let _ = write!(s, "\"queue_depth\":{},", self.queue_depth);
         let _ = write!(s, "\"throughput_per_sec\":{:.3},", self.throughput_per_sec);
         let _ = write!(s, "\"lock_wait_p50_ns\":{},", self.lock_wait_p50.as_nanos());
@@ -416,6 +503,13 @@ impl std::fmt::Display for MetricsSnapshot {
                 f,
                 " cert-inferred {} (reseeds {})",
                 self.cert_actions_inferred, self.cert_incremental_reseeds
+            )?;
+        }
+        if self.wal_appends > 0 {
+            write!(
+                f,
+                " wal {} recs/{} B fsyncs {} group-mean {:.1}",
+                self.wal_appends, self.wal_bytes, self.fsyncs, self.wal_group_mean
             )?;
         }
         if !self.shards.is_empty() {
@@ -487,11 +581,31 @@ mod tests {
     }
 
     #[test]
+    fn value_histogram_buckets_counts() {
+        let h = Histogram::default();
+        for n in [1u64, 1, 4, 4, 4, 8] {
+            h.record_value(n);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 2, "two flushes of 1 commit");
+        assert_eq!(counts[2], 3, "three flushes of 4 commits");
+        assert_eq!(counts[3], 1);
+        let mean = h.mean();
+        assert!(mean > 1.0 && mean < 10.0, "mean {mean}");
+        assert_eq!(Histogram::default().mean(), 0.0);
+    }
+
+    #[test]
     fn snapshot_json_shape() {
         let m = EngineMetrics::with_shards(2);
         m.committed.fetch_add(3, Ordering::Relaxed);
         m.shard_op(0);
         m.e2e.record(Duration::from_millis(1));
+        m.wal_appends.fetch_add(9, Ordering::Relaxed);
+        m.wal_bytes.fetch_add(412, Ordering::Relaxed);
+        m.fsyncs.fetch_add(2, Ordering::Relaxed);
+        m.group_commits.fetch_add(2, Ordering::Relaxed);
+        m.wal_group_size.record_value(2);
         let json = m.snapshot().to_json();
         assert!(
             crate::trace::export::validate_json(&json),
@@ -511,6 +625,12 @@ mod tests {
             "\"versions_gcd\":",
             "\"cert_actions_inferred\":",
             "\"cert_incremental_reseeds\":",
+            "\"wal_appends\":9",
+            "\"wal_bytes\":412",
+            "\"fsyncs\":2",
+            "\"group_commits\":2",
+            "\"wal_group_mean\":",
+            "\"wal_group_buckets\":[0,1]",
             "\"queue_depth\":",
             "\"throughput_per_sec\":",
             "\"lock_wait_p50_ns\":",

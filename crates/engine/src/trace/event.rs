@@ -224,6 +224,38 @@ pub enum TraceEventKind {
         /// still holds.
         watermark: u64,
     },
+    /// The attempt's write-ahead-log records were appended (emitted once
+    /// per attempt when its last lifecycle record — `Commit` or
+    /// `AbortDone` — went to the log; zero-write attempts log nothing
+    /// and emit nothing).
+    WalAppend {
+        /// Records this attempt appended (lifecycle + per-op payloads).
+        records: u32,
+        /// Bytes appended, including framing overhead.
+        bytes: u64,
+    },
+    /// The group-commit batcher forced the log (one simulated fsync).
+    /// Emitted by whichever committing worker led the flush.
+    GroupFlush {
+        /// Commit records made durable by this flush (0 = the flush
+        /// covered only op/abort records).
+        commits: usize,
+        /// The durable byte watermark after the flush.
+        durable_bytes: u64,
+    },
+    /// Restart replayed one logged transaction (emitted by
+    /// [`crate::durability::recover_traced`], stamped with the replay
+    /// transaction's identity).
+    RecoveryReplay {
+        /// Forward operations replayed.
+        ops: usize,
+        /// Compensations applied (durable `Comp` records plus the
+        /// restart-driven undo of a loser's remainder).
+        comps: usize,
+        /// True when the transaction was a loser (no terminator on the
+        /// durable log) and restart finished its undo.
+        loser: bool,
+    },
     /// The worker compensated this attempt's completed operations.
     Compensated {
         /// How many forward operations had completed.
@@ -260,6 +292,9 @@ impl TraceEventKind {
             TraceEventKind::CascadeDoom { .. } => "cascade_doom",
             TraceEventKind::VersionInstall { .. } => "version_install",
             TraceEventKind::VersionGc { .. } => "version_gc",
+            TraceEventKind::WalAppend { .. } => "wal_append",
+            TraceEventKind::GroupFlush { .. } => "group_flush",
+            TraceEventKind::RecoveryReplay { .. } => "recovery_replay",
             TraceEventKind::Compensated { .. } => "compensated",
             TraceEventKind::Committed => "committed",
             TraceEventKind::Aborted { .. } => "aborted",

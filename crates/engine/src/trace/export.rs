@@ -118,6 +118,22 @@ fn payload(out: &mut String, kind: &TraceEventKind, timing: bool) {
             put_u64(out, "collected", *collected as u64);
             put_u64(out, "watermark", *watermark);
         }
+        TraceEventKind::WalAppend { records, bytes } => {
+            put_u64(out, "records", *records as u64);
+            put_u64(out, "bytes", *bytes);
+        }
+        TraceEventKind::GroupFlush {
+            commits,
+            durable_bytes,
+        } => {
+            put_u64(out, "commits", *commits as u64);
+            put_u64(out, "durable_bytes", *durable_bytes);
+        }
+        TraceEventKind::RecoveryReplay { ops, comps, loser } => {
+            put_u64(out, "ops", *ops as u64);
+            put_u64(out, "comps", *comps as u64);
+            put_bool(out, "loser", *loser);
+        }
         TraceEventKind::Compensated { ops } => put_u64(out, "ops", *ops as u64),
         TraceEventKind::Committed => {}
         TraceEventKind::Aborted { reason, last } => {

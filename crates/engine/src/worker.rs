@@ -4,11 +4,14 @@
 
 use crate::cc::{ConcurrencyControl, EngineShared, FinishOutcome, OpGrant, TxnHandle};
 use crate::config::EngineConfig;
+use crate::durability::{comp_of, redo_of};
+use crate::metrics::EngineMetrics;
 use crate::queue::{Job, JobQueue};
 use crate::trace::{AbortReason, TraceEventKind, TXN_NONE};
 use oodb_core::ids::TxnIdx;
 use oodb_lock::OwnerId;
 use oodb_model::TxnCtx;
+use oodb_recovery::engine_log::{EngineOp as WalOp, EngineRecord};
 use oodb_sim::exec::apply_op;
 use oodb_sim::EncOp;
 use rand::{Rng, SeedableRng};
@@ -62,6 +65,125 @@ fn is_write(op: &EncOp) -> bool {
     matches!(op, EncOp::Insert(_) | EncOp::Change(_) | EncOp::Delete(_))
 }
 
+/// Per-attempt write-ahead logging. Lazily appends `Begin` at the first
+/// effectful operation (read-only attempts leave no trace in the log),
+/// then one `Op` record per executed mutation, `Comp` records for
+/// live-abort compensation, and a `Commit`/`AbortDone` terminator.
+/// **Every append must happen inside the database critical section that
+/// performed the change** — the callers uphold this; it is what makes
+/// log order equal history order.
+struct Wal<'a> {
+    dur: Option<&'a crate::durability::Durability>,
+    txn: u64,
+    name: &'a str,
+    begun: bool,
+    records: u32,
+    bytes: u64,
+    /// Log offset just past this attempt's latest record.
+    end: usize,
+}
+
+impl<'a> Wal<'a> {
+    fn new(shared: &'a EngineShared, txn: u32, name: &'a str) -> Self {
+        Wal {
+            dur: shared.dur.as_ref(),
+            txn: u64::from(txn),
+            name,
+            begun: false,
+            records: 0,
+            bytes: 0,
+            end: 0,
+        }
+    }
+
+    /// False when durability is off: every log_* call is then a no-op.
+    fn active(&self) -> bool {
+        self.dur.is_some()
+    }
+
+    fn push(&mut self, m: &EngineMetrics, rec: EngineRecord) {
+        let d = self.dur.expect("push only called when active");
+        if !self.begun {
+            self.begun = true;
+            let (_, bytes) = d.append(
+                &EngineRecord::Begin {
+                    txn: self.txn,
+                    name: self.name.to_owned(),
+                },
+                m,
+            );
+            self.records += 1;
+            self.bytes += bytes as u64;
+        }
+        let (end, bytes) = d.append(&rec, m);
+        self.end = end;
+        self.records += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Log one executed mutation: its redo plus the inverse that undoes it.
+    fn log_op(&mut self, m: &EngineMetrics, redo: WalOp, comp: WalOp) {
+        let txn = self.txn;
+        self.push(m, EngineRecord::Op { txn, redo, comp });
+    }
+
+    /// Log one live-abort compensation step (the CLR analog).
+    fn log_comp(&mut self, m: &EngineMetrics, op: WalOp, applied: bool) {
+        if !self.begun {
+            return; // nothing was logged, so there is nothing to undo
+        }
+        let txn = self.txn;
+        self.push(m, EngineRecord::Comp { txn, op, applied });
+    }
+
+    /// Log the commit marker; returns the offset a commit must be durable
+    /// through before acknowledgement, or `None` when the attempt logged
+    /// nothing (read-only: nothing to make durable).
+    fn log_commit(&mut self, m: &EngineMetrics) -> Option<usize> {
+        if !self.active() || !self.begun {
+            return None;
+        }
+        let txn = self.txn;
+        self.push(m, EngineRecord::Commit { txn });
+        Some(self.end)
+    }
+
+    /// Log that this attempt's compensation completed.
+    fn log_abort_done(&mut self, m: &EngineMetrics) {
+        if !self.begun {
+            return;
+        }
+        let txn = self.txn;
+        self.push(m, EngineRecord::AbortDone { txn });
+    }
+
+    /// After the executed `op` (with `hit` = engaged its target), pair
+    /// the redo with the inverse the compensation log just captured and
+    /// append the `Op` record. Call inside the same critical section
+    /// that executed `op`.
+    fn log_executed(
+        &mut self,
+        m: &EngineMetrics,
+        enc: &oodb_btree::CompensatedEncyclopedia,
+        ctx: &TxnCtx,
+        op: &EncOp,
+        tag: usize,
+        hit: bool,
+    ) {
+        if !self.active() || !hit {
+            return; // misses execute as read-only probes: nothing to redo
+        }
+        let Some(redo) = redo_of(op, tag) else {
+            return; // reads are never logged
+        };
+        let comp = enc
+            .last_inverse(ctx)
+            .and_then(comp_of)
+            .expect("every effectful mutation captures an inverse");
+        self.log_op(m, redo, comp);
+    }
+}
+
 /// MVCC commit point: install the attempt's buffered writes, certify,
 /// and commit — or compensate — all inside ONE database critical
 /// section. Uncommitted writes are therefore never visible to any other
@@ -69,6 +191,7 @@ fn is_write(op: &EncOp) -> bool {
 /// dependencies) and nothing to cascade. `Err` carries the compensation
 /// trace events — the writes were already rolled back under the same
 /// lock, so the abort tail must not compensate again.
+#[allow(clippy::too_many_arguments)]
 fn mvcc_commit(
     shared: &EngineShared,
     cc: &dyn ConcurrencyControl,
@@ -77,7 +200,8 @@ fn mvcc_commit(
     buffered: &[EncOp],
     job: &Job,
     base: &str,
-) -> Result<(), Vec<(u64, EncOp, bool)>> {
+    wal: &mut Wal<'_>,
+) -> Result<Option<usize>, Vec<(u64, EncOp, bool)>> {
     let mut enc = shared.enc.lock();
     // install: seqs claimed inside the critical section, so OpGranted
     // order still equals recorded history order (the trace invariant)
@@ -85,15 +209,24 @@ fn mvcc_commit(
     for op in buffered {
         let seq = shared.trace.enabled().then(|| shared.trace.claim_seq());
         let hit = apply_op(&mut enc, &mut ctx, op, job.id.wrapping_add(1) as usize);
+        wal.log_executed(
+            &shared.metrics,
+            &enc,
+            &ctx,
+            op,
+            job.id.wrapping_add(1) as usize,
+            hit,
+        );
         if let Some(seq) = seq {
             installs.push((seq, op.clone(), hit));
         }
     }
     let result = match cc.try_finish(shared, handle) {
         FinishOutcome::Committed => {
+            let end = wal.log_commit(&shared.metrics);
             enc.commit(ctx);
             drop(enc);
-            Ok(())
+            Ok(end)
         }
         FinishOutcome::Wait => {
             unreachable!("a buffering protocol must never answer Wait")
@@ -108,6 +241,14 @@ fn mvcc_commit(
                 "compensation inside the install critical section cannot fail: {:?}",
                 report.failed
             );
+            if wal.active() {
+                for inv in &report.compensated {
+                    if let Some(op) = comp_of(inv) {
+                        wal.log_comp(&shared.metrics, op, true);
+                    }
+                }
+                wal.log_abort_done(&shared.metrics);
+            }
             let comp_events = if shared.trace.enabled() {
                 report
                     .compensated
@@ -140,6 +281,47 @@ fn mvcc_commit(
         );
     }
     result
+}
+
+/// Commit acknowledgement: when durability is on, block until the log
+/// is durable through the attempt's commit record (group-batching with
+/// concurrent committers), and only then count and trace the commit —
+/// an acknowledged commit can never be lost to a crash. Read-only
+/// attempts (`commit_end` = `None`) have nothing to force and skip the
+/// wait. Called after the protocol released its locks; waiting here
+/// cannot deadlock because flush leadership needs no engine lock.
+fn ack_commit(
+    shared: &EngineShared,
+    handle: &TxnHandle,
+    job: &Job,
+    record_metrics: bool,
+    wal: &Wal<'_>,
+    commit_end: Option<usize>,
+) {
+    if let Some(dur) = shared.dur.as_ref() {
+        if let Some(end) = commit_end {
+            dur.wait_durable(
+                end,
+                &shared.metrics,
+                &shared.trace,
+                handle.job,
+                handle.attempt,
+                handle.owner.0 as u32,
+            );
+        }
+        dur.note_acked(job.id);
+    }
+    if wal.records > 0 {
+        let (records, bytes) = (wal.records, wal.bytes);
+        shared
+            .trace
+            .emit_txn(handle, || TraceEventKind::WalAppend { records, bytes });
+    }
+    if record_metrics {
+        shared.metrics.committed.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.e2e.record(job.submitted_at.elapsed());
+    }
+    shared.trace.emit_txn(handle, || TraceEventKind::Committed);
 }
 
 /// Worker body: drain the queue until it is closed and empty.
@@ -194,7 +376,7 @@ pub(crate) fn process_job(
         } else {
             format!("{base}r{attempt}")
         };
-        let attempt_ctx = shared.rec.begin_txn(name);
+        let attempt_ctx = shared.rec.begin_txn(name.clone());
         let txn_number = attempt_ctx.txn_number();
         let mut ctx = Some(attempt_ctx);
         let handle = TxnHandle {
@@ -203,6 +385,7 @@ pub(crate) fn process_job(
             txn: TxnIdx(txn_number),
             owner: OwnerId(u64::from(txn_number)),
         };
+        let mut wal = Wal::new(shared, txn_number, &name);
         shared
             .trace
             .emit_txn(&handle, || TraceEventKind::AttemptBegin {
@@ -253,6 +436,14 @@ pub(crate) fn process_job(
                                 op,
                                 job.id.wrapping_add(1) as usize,
                             );
+                            wal.log_executed(
+                                &shared.metrics,
+                                &enc,
+                                ctx.as_ref().expect("attempt ctx live during ops"),
+                                op,
+                                job.id.wrapping_add(1) as usize,
+                                hit,
+                            );
                             (seq, hit)
                         };
                         if let Some(seq) = seq {
@@ -295,14 +486,19 @@ pub(crate) fn process_job(
                 reason = AbortReason::Deadline;
             } else {
                 let attempt_ctx = ctx.take().expect("attempt ctx live at commit point");
-                match mvcc_commit(shared, cc, &handle, attempt_ctx, &buffered, job, &base) {
-                    Ok(()) => {
+                match mvcc_commit(
+                    shared,
+                    cc,
+                    &handle,
+                    attempt_ctx,
+                    &buffered,
+                    job,
+                    &base,
+                    &mut wal,
+                ) {
+                    Ok(commit_end) => {
                         cc.after_commit(shared, &handle);
-                        if record_metrics {
-                            shared.metrics.committed.fetch_add(1, Ordering::Relaxed);
-                            shared.metrics.e2e.record(job.submitted_at.elapsed());
-                        }
-                        shared.trace.emit_txn(&handle, || TraceEventKind::Committed);
+                        ack_commit(shared, &handle, job, record_metrics, &wal, commit_end);
                         return;
                     }
                     Err(comp_events) => {
@@ -327,16 +523,19 @@ pub(crate) fn process_job(
                 }
                 match cc.try_finish(shared, &handle) {
                     FinishOutcome::Committed => {
-                        shared
-                            .enc
-                            .lock()
-                            .commit(ctx.take().expect("attempt ctx live at commit"));
+                        // commit marker appended under the same critical
+                        // section that finalizes the commit, so any
+                        // transaction that later observes our effects
+                        // appends strictly after it — the durable prefix
+                        // can never keep an observer while losing us
+                        let commit_end = {
+                            let mut enc = shared.enc.lock();
+                            let end = wal.log_commit(&shared.metrics);
+                            enc.commit(ctx.take().expect("attempt ctx live at commit"));
+                            end
+                        };
                         cc.after_commit(shared, &handle);
-                        if record_metrics {
-                            shared.metrics.committed.fetch_add(1, Ordering::Relaxed);
-                            shared.metrics.e2e.record(job.submitted_at.elapsed());
-                        }
-                        shared.trace.emit_txn(&handle, || TraceEventKind::Committed);
+                        ack_commit(shared, &handle, job, record_metrics, &wal, commit_end);
                         return;
                     }
                     FinishOutcome::Wait => {
@@ -387,6 +586,21 @@ pub(crate) fn process_job(
                     report.failed
                 );
             }
+            if wal.active() {
+                // CLR analog: every executed (or inapplicable) inverse is
+                // logged so recovery resumes the undo exactly here
+                for inv in &report.compensated {
+                    if let Some(op) = comp_of(inv) {
+                        wal.log_comp(&shared.metrics, op, true);
+                    }
+                }
+                for inv in &report.failed {
+                    if let Some(op) = comp_of(inv) {
+                        wal.log_comp(&shared.metrics, op, false);
+                    }
+                }
+                wal.log_abort_done(&shared.metrics);
+            }
             // seqs claimed while still inside the critical section, so
             // the compensation's membership changes interleave with
             // OpGranted events exactly where the history put them
@@ -417,6 +631,12 @@ pub(crate) fn process_job(
         shared
             .trace
             .emit_txn(&handle, || TraceEventKind::Compensated { ops: ops_done });
+        if wal.records > 0 {
+            let (records, bytes) = (wal.records, wal.bytes);
+            shared
+                .trace
+                .emit_txn(&handle, || TraceEventKind::WalAppend { records, bytes });
+        }
         cc.after_abort(shared, &handle);
         if record_metrics {
             shared.metrics.retries.fetch_add(1, Ordering::Relaxed);

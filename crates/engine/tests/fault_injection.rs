@@ -154,6 +154,7 @@ fn shared_with(cc_shards: usize) -> EngineShared {
         enc: Mutex::new(CompensatedEncyclopedia::new(enc)),
         metrics: EngineMetrics::with_shards(cc_shards),
         trace: oodb_engine::Tracer::disabled(),
+        dur: None,
     }
 }
 

@@ -100,6 +100,7 @@ impl VirtualScheduler {
             enc: Mutex::new(CompensatedEncyclopedia::new(enc)),
             metrics: EngineMetrics::with_shards(cc.shards()),
             trace: oodb_engine::Tracer::disabled(),
+            dur: None,
         };
         let mut vs = VirtualScheduler {
             shared,

@@ -12,12 +12,23 @@
 //! The *semantic* half — aborting an open nested transaction whose
 //! subtransactions already released their effects — is compensation
 //! (`oodb_core::compensation`); from this layer's perspective a
-//! compensation transaction is just another logged transaction.
+//! compensation transaction is just another logged transaction. The
+//! engine durability subsystem (`oodb_engine::durability`) logs at that
+//! semantic level, and this crate supplies its on-log representation:
+//!
+//! * [`framing`] — byte-level record framing with per-record CRC32,
+//!   a durable byte watermark, and torn-tail detection;
+//! * [`engine_log`] — the record format: transaction lifecycle plus
+//!   redo/compensation payloads for semantic (compensation-based) undo.
 
 #![warn(missing_docs)]
 
+pub mod engine_log;
+pub mod framing;
 pub mod store;
 pub mod wal;
 
+pub use engine_log::{EngineOp, EngineRecord};
+pub use framing::{crc32, frame, scan, FramedLog, ScanOutcome, TornTail};
 pub use store::{CrashImage, RecoverableStore, RecoveryStats};
 pub use wal::{LogRecord, Lsn, RecTxnId, Wal};

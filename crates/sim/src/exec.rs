@@ -84,12 +84,24 @@ pub fn apply_op(
     tag: usize,
 ) -> bool {
     match op {
-        EncOp::Insert(k) => enc.insert(ctx, k, &format!("text for {k}")).is_some(),
+        EncOp::Insert(k) => enc.insert(ctx, k, &write_text(op, tag).unwrap()).is_some(),
         EncOp::Search(k) => enc.search(ctx, k).is_some(),
-        EncOp::Change(k) => enc.change(ctx, k, &format!("changed by {tag}")),
+        EncOp::Change(k) => enc.change(ctx, k, &write_text(op, tag).unwrap()),
         EncOp::Delete(k) => enc.delete(ctx, k),
         EncOp::ReadSeq => !enc.read_seq(ctx).is_empty(),
         EncOp::Range(lo, hi) => !enc.inner().range(ctx, lo, hi).is_empty(),
+    }
+}
+
+/// The item text a mutating operation writes under [`apply_op`] with
+/// value-tag `tag`, or `None` for operations that write no text
+/// (reads, deletes). Exposed so the engine's write-ahead log can record
+/// redo payloads byte-identical to the installed values.
+pub fn write_text(op: &EncOp, tag: usize) -> Option<String> {
+    match op {
+        EncOp::Insert(k) => Some(format!("text for {k}")),
+        EncOp::Change(_) => Some(format!("changed by {tag}")),
+        EncOp::Delete(_) | EncOp::Search(_) | EncOp::ReadSeq | EncOp::Range(..) => None,
     }
 }
 
