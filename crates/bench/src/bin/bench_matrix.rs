@@ -1,0 +1,204 @@
+//! The regime-matrix binary: run the matrix and persist the perf
+//! trajectory, or compare two persisted reports.
+//!
+//! ```text
+//! # run the CI smoke matrix and write BENCH_<commit>.json at the cwd
+//! cargo run --release -p oodb-bench --bin bench_matrix -- run --smoke
+//!
+//! # the full matrix, explicit label and output path
+//! cargo run --release -p oodb-bench --bin bench_matrix -- run --full \
+//!     --commit abc1234 --out BENCH_abc1234.json
+//!
+//! # diff two reports; exit 1 on regression, 2 on schema error
+//! cargo run --release -p oodb-bench --bin bench_matrix -- compare \
+//!     BENCH_old.json BENCH_new.json --tol-throughput 0.5 --tol-p99 3.0
+//! ```
+//!
+//! `compare` exit codes: `0` clean, `1` at least one cell beyond
+//! tolerance (suppressed by `--warn-only`), `2` unreadable or
+//! schema-invalid input — schema errors always fail, even warn-only.
+
+use oodb_bench::matrix::{self, size};
+use oodb_bench::openloop;
+use oodb_bench::report::{self, Json, Tolerances};
+use oodb_engine::CcKind;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("compare") => compare(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: bench_matrix run [--smoke|--full] [--commit <label>] [--out <path>]\n\
+                 \x20      bench_matrix compare <old.json> <new.json> \
+                 [--tol-throughput <ratio>] [--tol-p99 <ratio>] [--warn-only]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// The commit label for the report: `--commit` if given, else the git
+/// HEAD short hash, else `"dev"`.
+fn commit_label(args: &[String]) -> String {
+    if let Some(label) = flag_value(args, "--commit") {
+        return label.to_string();
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "dev".to_string())
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let full = args.iter().any(|a| a == "--full");
+    let (kind, regimes, txns) = if full {
+        ("full", matrix::full(), size::FULL_TXNS)
+    } else {
+        ("smoke", matrix::smoke(), size::SMOKE_TXNS)
+    };
+    let commit = commit_label(args);
+    let out_path = flag_value(args, "--out")
+        .map(String::from)
+        .unwrap_or_else(|| format!("BENCH_{commit}.json"));
+
+    eprintln!(
+        "running {} matrix: {} cells x {txns} txns",
+        kind,
+        regimes.len()
+    );
+    let cells = matrix::run_matrix(&regimes, txns);
+
+    // the open-loop sweep: walk one moderate-contention regime through
+    // saturation (rates beyond any single-core service capacity)
+    let ol_regime = matrix::Regime::base(
+        "uniform-write",
+        256,
+        None,
+        0.2,
+        0.0,
+        6,
+        CcKind::Optimistic,
+        4,
+    );
+    let rates: &[f64] = if full {
+        &[250.0, 1000.0, 4000.0, 16000.0]
+    } else {
+        &[500.0, 8000.0]
+    };
+    let per_rate = if full { 400 } else { 80 };
+    eprintln!("open-loop sweep: rates {rates:?}, {per_rate} offered each");
+    let points = openloop::sweep(&ol_regime, rates, per_rate, 42);
+
+    let doc = report::render_report(&commit, kind, &cells, &points);
+    // never ship a report our own validator rejects
+    let parsed = Json::parse(&doc).expect("rendered report parses");
+    let errs = report::validate_report(&parsed);
+    if !errs.is_empty() {
+        for e in &errs {
+            eprintln!("schema error: {e}");
+        }
+        return ExitCode::from(2);
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "wrote {out_path}: {} cells, {} open-loop points",
+        cells.len(),
+        points.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let errs = report::validate_report(&doc);
+    if errs.is_empty() {
+        Ok(doc)
+    } else {
+        Err(format!("{path}: schema errors: {}", errs.join("; ")))
+    }
+}
+
+fn compare(args: &[String]) -> ExitCode {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let skip: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--tol-throughput" || *a == "--tol-p99")
+        .filter_map(|(i, _)| args.get(i + 1).map(String::as_str))
+        .collect();
+    let paths: Vec<&String> = paths
+        .into_iter()
+        .filter(|p| !skip.contains(&p.as_str()))
+        .collect();
+    let [old_path, new_path] = paths[..] else {
+        eprintln!("compare needs exactly two report paths");
+        return ExitCode::from(2);
+    };
+    let mut tol = Tolerances::default();
+    if let Some(v) = flag_value(args, "--tol-throughput") {
+        tol.throughput = v.parse().expect("--tol-throughput ratio");
+    }
+    if let Some(v) = flag_value(args, "--tol-p99") {
+        tol.p99 = v.parse().expect("--tol-p99 ratio");
+    }
+    let warn_only = args.iter().any(|a| a == "--warn-only");
+
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (o, n) => {
+            for r in [o, n] {
+                if let Err(e) = r {
+                    eprintln!("{e}");
+                }
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let cmp = report::compare(&old, &new, tol);
+    println!(
+        "compared {} cells ({} vs {})",
+        cmp.compared,
+        old.get("commit").and_then(Json::as_str).unwrap_or("?"),
+        new.get("commit").and_then(Json::as_str).unwrap_or("?"),
+    );
+    for u in &cmp.unmatched {
+        println!("note: {u}");
+    }
+    for r in &cmp.regressions {
+        println!("REGRESSION: {r}");
+    }
+    if cmp.ok() {
+        println!(
+            "ok: no cell moved beyond tolerance (tput x{}, p99 x{})",
+            tol.throughput, tol.p99
+        );
+        ExitCode::SUCCESS
+    } else if warn_only {
+        println!(
+            "{} regression(s) — warn-only, not failing",
+            cmp.regressions.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -14,5 +14,8 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod matrix;
+pub mod openloop;
 pub mod quant;
+pub mod report;
 pub mod table;

@@ -1,0 +1,168 @@
+//! Open-loop latency harness: paced Poisson arrivals at a target rate,
+//! with shed accounting and end-to-end latency quantiles.
+//!
+//! The closed-loop runs elsewhere in this crate (B9–B15) submit with
+//! backpressure, so measured latency can never exceed service time —
+//! the coordinated-omission trap. Production traffic does not wait for
+//! the server: arrivals keep coming at the offered rate whether or not
+//! the engine keeps up. This driver generates a deterministic Poisson
+//! arrival schedule ([`arrival_offsets`]), submits each transaction at
+//! its scheduled instant through the shedding [`oodb_engine::Engine::submit`]
+//! path, and reports what the client actually saw: offered vs admitted
+//! vs shed vs committed, plus p50/p99/p999 submission-to-commit latency.
+//! Sweeping the rate upward ([`sweep`]) walks the engine through
+//! saturation — the latency/throughput view `BENCH_<commit>.json`
+//! persists per PR.
+
+use crate::matrix::Regime;
+use crate::report::OpenLoopPoint;
+use oodb_sim::encyclopedia_workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Deterministic Poisson arrival schedule: `n` cumulative offsets from
+/// the start of the run, exponential inter-arrivals with mean
+/// `1 / rate_per_sec`. Same seed → identical schedule.
+pub fn arrival_offsets(rate_per_sec: f64, n: usize, seed: u64) -> Vec<Duration> {
+    assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at = 0.0f64;
+    (0..n)
+        .map(|_| {
+            // u ∈ [0,1) so 1-u ∈ (0,1]: ln never sees zero
+            let u: f64 = rng.gen();
+            at += -(1.0 - u).ln() / rate_per_sec;
+            Duration::from_secs_f64(at)
+        })
+        .collect()
+}
+
+/// One open-loop run: `offered` transactions of the given regime's
+/// workload, submitted at Poisson instants targeting `rate_per_sec`.
+/// Arrivals that find the queue full are shed, not retried — exactly
+/// what an admission-controlled server does to open-loop traffic.
+pub fn run_open_loop(r: &Regime, rate_per_sec: f64, offered: usize, seed: u64) -> OpenLoopPoint {
+    let workload = encyclopedia_workload(&r.workload_config(offered));
+    let offsets = arrival_offsets(rate_per_sec, offered, seed);
+    let engine = oodb_engine::Engine::start(r.engine_config(), r.cc);
+    engine.preload(&workload.preload_keys);
+    let start = Instant::now();
+    for (ops, at) in workload.txn_ops.into_iter().zip(&offsets) {
+        if let Some(wait) = at.checked_sub(start.elapsed()) {
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+        }
+        // shed on full: the engine counts it in metrics.shed
+        let _ = engine.submit(ops);
+    }
+    let out = engine.shutdown();
+    let m = &out.metrics;
+    OpenLoopPoint {
+        rate_per_sec,
+        offered: offered as u64,
+        admitted: m.submitted,
+        shed: m.shed,
+        committed: m.committed,
+        achieved_per_sec: m.throughput_per_sec,
+        latency_ns: (
+            m.e2e_p50.as_nanos() as u64,
+            m.e2e_p99.as_nanos() as u64,
+            m.e2e_p999.as_nanos() as u64,
+        ),
+    }
+}
+
+/// Sweep the offered rate upward through saturation. Each point offers
+/// `per_rate` transactions (bounded so high rates stay short runs).
+pub fn sweep(r: &Regime, rates: &[f64], per_rate: usize, seed: u64) -> Vec<OpenLoopPoint> {
+    rates
+        .iter()
+        .map(|&rate| run_open_loop(r, rate, per_rate, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Regime;
+    use oodb_engine::{CcKind, DurabilityMode};
+    use std::time::Duration;
+
+    #[test]
+    fn arrival_schedule_is_seeded_and_monotone() {
+        let a = arrival_offsets(1000.0, 200, 7);
+        let b = arrival_offsets(1000.0, 200, 7);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = arrival_offsets(1000.0, 200, 8);
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "offsets nondecreasing");
+        // mean inter-arrival ≈ 1/rate: very loose band, it's only 200 samples
+        let mean = a.last().unwrap().as_secs_f64() / 200.0;
+        assert!(
+            (0.0002..0.005).contains(&mean),
+            "mean inter-arrival {mean}s is wildly off 1ms"
+        );
+    }
+
+    fn light_regime() -> Regime {
+        Regime::base(
+            "uniform-read",
+            64,
+            None,
+            0.8,
+            0.0,
+            4,
+            CcKind::Pessimistic,
+            1,
+        )
+    }
+
+    #[test]
+    fn shed_accounting_sums_to_offered_load() {
+        // a deliberately overwhelmed engine: one slow fsync per commit,
+        // tiny queue, arrivals far above service rate → sheds happen
+        let mut r = light_regime();
+        r.durability = DurabilityMode::PerCommit;
+        r.fsync_latency = Duration::from_millis(2);
+        let mut cfg = r.engine_config();
+        cfg.queue_capacity = 4;
+        cfg.workers = 2;
+        let workload = oodb_sim::encyclopedia_workload(&r.workload_config(120));
+        let offsets = arrival_offsets(50_000.0, 120, 3);
+        let engine = oodb_engine::Engine::start(cfg, r.cc);
+        engine.preload(&workload.preload_keys);
+        let start = std::time::Instant::now();
+        for (ops, at) in workload.txn_ops.into_iter().zip(&offsets) {
+            if let Some(wait) = at.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            let _ = engine.submit(ops);
+        }
+        let m = engine.shutdown().metrics;
+        assert_eq!(m.submitted + m.shed, 120, "every arrival admitted or shed");
+        assert!(m.shed > 0, "overload must shed ({} admitted)", m.submitted);
+    }
+
+    #[test]
+    fn light_load_p50_is_below_overload_p99() {
+        // light: 100/s against a fast engine — latency is service time
+        let light = run_open_loop(&light_regime(), 100.0, 20, 11);
+        assert_eq!(light.offered, light.admitted + light.shed);
+        // overload: per-commit 2ms fsyncs, arrivals at 50k/s — queueing
+        // delay dominates and p99 blows up past light-load p50
+        let mut r = light_regime();
+        r.durability = DurabilityMode::PerCommit;
+        r.fsync_latency = Duration::from_millis(2);
+        let over = run_open_loop(&r, 50_000.0, 150, 11);
+        assert_eq!(over.offered, over.admitted + over.shed);
+        assert!(over.committed > 0);
+        assert!(
+            light.latency_ns.0 < over.latency_ns.1,
+            "light p50 {}ns should sit below overload p99 {}ns",
+            light.latency_ns.0,
+            over.latency_ns.1
+        );
+    }
+}

@@ -53,7 +53,10 @@ pub use cc::{
 };
 pub use config::{CcKind, CertBackend, DurabilityMode, EngineConfig, OptimisticExec, TraceMode};
 pub use durability::{recover, recover_traced, Durability, RecoveryOutcome, ReplayStats};
-pub use metrics::{EngineMetrics, Histogram, MetricsSnapshot, ShardLane, ShardLaneSnapshot};
+pub use metrics::{
+    EngineMetrics, Histogram, MetricsSnapshot, Quantiles, ShardLane, ShardLaneSnapshot,
+    ValueQuantiles,
+};
 pub use queue::{Job, JobQueue};
 pub use trace::{
     cross_check, CrossCheck, DepGraph, NullSink, RingSink, TraceEvent, TraceEventKind, TraceLog,

@@ -74,18 +74,27 @@ impl Histogram {
         self.len() == 0
     }
 
-    /// The geometric midpoint of bucket `i`, i.e. of `[2^i, 2^(i+1))`.
-    fn bucket_mid(i: usize) -> Duration {
-        let lo = 1u64 << i;
-        Duration::from_nanos(lo + lo / 2)
+    /// Log-linear position of the `pos`-th (1-based) of `c` samples
+    /// inside bucket `i`, i.e. inside `[2^i, 2^(i+1))`: samples are
+    /// assumed geometrically spread through the bucket, so the returned
+    /// value is `2^(i + (pos - ½)/c)`. With one sample this is the
+    /// bucket's geometric midpoint `2^(i+½)`.
+    fn bucket_interp(i: usize, pos: u64, c: u64) -> Duration {
+        let lo = (1u64 << i) as f64;
+        let frac = ((pos as f64 - 0.5) / c.max(1) as f64).clamp(0.0, 1.0);
+        Duration::from_nanos((lo * 2f64.powf(frac)).round() as u64)
     }
 
-    /// The approximate `q`-quantile (`0.0 ..= 1.0`) as a duration: the
-    /// geometric midpoint of the bucket containing that rank. Returns
-    /// zero when empty. If a concurrent `record` leaves the rank
-    /// transiently unreachable (count incremented after its bucket was
-    /// scanned), the last non-empty bucket's midpoint is returned — a
-    /// real latency from the distribution, never a sentinel.
+    /// The approximate `q`-quantile (`0.0 ..= 1.0`) as a duration, with
+    /// **log-linear interpolation** inside the rank's bucket: the rank's
+    /// position among the bucket's samples picks a point on the bucket's
+    /// geometric span instead of a fixed midpoint, which keeps high
+    /// quantiles (p99, p999) distinguishable even when they land in the
+    /// same power-of-two bucket. Returns zero when empty. If a
+    /// concurrent `record` leaves the rank transiently unreachable
+    /// (count incremented after its bucket was scanned), the last
+    /// non-empty bucket's geometric midpoint is returned — a real
+    /// latency from the distribution, never a sentinel.
     pub fn quantile(&self, q: f64) -> Duration {
         let total = self.len();
         if total == 0 {
@@ -97,16 +106,26 @@ impl Histogram {
         for (i, b) in self.buckets.iter().enumerate() {
             let c = b.load(Ordering::Relaxed);
             if c > 0 {
-                last_nonempty = Some(i);
+                last_nonempty = Some((i, c));
+            }
+            if c > 0 && seen + c >= rank {
+                return Self::bucket_interp(i, rank - seen, c);
             }
             seen += c;
-            if seen >= rank {
-                return Self::bucket_mid(i);
-            }
         }
         last_nonempty
-            .map(Self::bucket_mid)
+            .map(|(i, c)| Self::bucket_interp(i, c.div_ceil(2).max(1), c))
             .unwrap_or(Duration::ZERO)
+    }
+
+    /// The p50/p99/p999 triple of this histogram in one scan-per-quantile
+    /// call — the shape every latency field of [`MetricsSnapshot`] uses.
+    pub fn quantiles(&self) -> Quantiles {
+        Quantiles {
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
     }
 
     /// Fold another histogram's samples into this one (per-bucket adds),
@@ -126,6 +145,36 @@ impl Histogram {
     /// `[2^i, 2^(i+1))` ns).
     pub fn bucket_counts(&self) -> [u64; BUCKETS] {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// The p50 / p99 / p999 of one latency histogram, frozen as durations.
+/// `p999` exists because tail behaviour under load is exactly what the
+/// open-loop harness measures; the log-linear interpolation in
+/// [`Histogram::quantile`] keeps it distinct from p99 even inside one
+/// power-of-two bucket. Always ordered `p50 <= p99 <= p999`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Quantiles {
+    /// Median.
+    pub p50: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// 99.9th percentile.
+    pub p999: Duration,
+}
+
+impl Quantiles {
+    /// Append this triple to a JSON object under construction as
+    /// `"<name>":{"p50_ns":..,"p99_ns":..,"p999_ns":..}` (no trailing
+    /// comma).
+    fn write_json(&self, s: &mut String, name: &str) {
+        let _ = write!(
+            s,
+            "\"{name}\":{{\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
+            self.p50.as_nanos(),
+            self.p99.as_nanos(),
+            self.p999.as_nanos()
+        );
     }
 }
 
@@ -220,6 +269,21 @@ pub struct EngineMetrics {
     pub lock_wait: Histogram,
     /// End-to-end latency from submission to commit.
     pub e2e: Histogram,
+    /// Phase timer: submission-to-worker-pop queue wait, recorded once
+    /// per popped job (preloads bypass the queue and are not recorded).
+    pub phase_queue: Histogram,
+    /// Phase timer: total grant/certification wait of the committing
+    /// attempt (the per-op waits summed, plus commit-dependency poll
+    /// rounds under in-place optimistic execution).
+    pub phase_wait: Histogram,
+    /// Phase timer: execution time of the committing attempt — attempt
+    /// begin to commit decision, minus the waits counted in
+    /// [`phase_wait`](EngineMetrics::phase_wait).
+    pub phase_exec: Histogram,
+    /// Phase timer: time the committing attempt spent blocked on the
+    /// write-ahead-log flush (group-commit leader or follower wait).
+    /// Empty with durability off.
+    pub phase_fsync: Histogram,
 }
 
 impl EngineMetrics {
@@ -257,6 +321,10 @@ impl EngineMetrics {
             queue_depth: Arc::new(AtomicUsize::new(0)),
             lock_wait: Histogram::default(),
             e2e: Histogram::default(),
+            phase_queue: Histogram::default(),
+            phase_wait: Histogram::default(),
+            phase_exec: Histogram::default(),
+            phase_fsync: Histogram::default(),
         }
     }
 
@@ -321,12 +389,19 @@ impl EngineMetrics {
             group_commits: self.group_commits.load(Ordering::Relaxed),
             wal_group_mean: self.wal_group_size.mean(),
             wal_group_buckets: self.wal_group_size.bucket_counts(),
+            wal_group: value_quantiles(&self.wal_group_size),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             throughput_per_sec: committed as f64 / elapsed.as_secs_f64().max(1e-9),
             lock_wait_p50: self.lock_wait.quantile(0.50),
             lock_wait_p99: self.lock_wait.quantile(0.99),
+            lock_wait_p999: self.lock_wait.quantile(0.999),
             e2e_p50: self.e2e.quantile(0.50),
             e2e_p99: self.e2e.quantile(0.99),
+            e2e_p999: self.e2e.quantile(0.999),
+            phase_queue: self.phase_queue.quantiles(),
+            phase_wait: self.phase_wait.quantiles(),
+            phase_exec: self.phase_exec.quantiles(),
+            phase_fsync: self.phase_fsync.quantiles(),
         }
     }
 }
@@ -335,6 +410,30 @@ impl Default for EngineMetrics {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Quantiles of a *value* histogram (counts, not durations): the
+/// nanosecond field of the interpolated quantile is the value itself,
+/// because [`Histogram::record_value`] buckets raw numbers the same way
+/// `record` buckets nanoseconds.
+fn value_quantiles(h: &Histogram) -> ValueQuantiles {
+    ValueQuantiles {
+        p50: h.quantile(0.50).as_nanos() as u64,
+        p99: h.quantile(0.99).as_nanos() as u64,
+        p999: h.quantile(0.999).as_nanos() as u64,
+    }
+}
+
+/// The p50 / p99 / p999 of a dimensionless value histogram (e.g.
+/// commits per group-commit flush).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ValueQuantiles {
+    /// Median value.
+    pub p50: u64,
+    /// 99th-percentile value.
+    pub p99: u64,
+    /// 99.9th-percentile value.
+    pub p999: u64,
 }
 
 /// Frozen view of [`EngineMetrics`] for reporting.
@@ -383,6 +482,8 @@ pub struct MetricsSnapshot {
     /// Log₂-bucket counts of commits per flush (`buckets[i]` = flushes
     /// that covered `[2^i, 2^(i+1))` commits).
     pub wal_group_buckets: [u64; 64],
+    /// Interpolated quantiles of commits per flush (group sizes).
+    pub wal_group: ValueQuantiles,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Committed transactions per second since engine start.
@@ -391,10 +492,25 @@ pub struct MetricsSnapshot {
     pub lock_wait_p50: Duration,
     /// 99th-percentile grant-acquisition wait.
     pub lock_wait_p99: Duration,
+    /// 99.9th-percentile grant-acquisition wait.
+    pub lock_wait_p999: Duration,
     /// Median submission-to-commit latency.
     pub e2e_p50: Duration,
     /// 99th-percentile submission-to-commit latency.
     pub e2e_p99: Duration,
+    /// 99.9th-percentile submission-to-commit latency.
+    pub e2e_p999: Duration,
+    /// Per-commit phase breakdown: submission-to-pop queue wait.
+    pub phase_queue: Quantiles,
+    /// Per-commit phase breakdown: grant/certification wait of the
+    /// committing attempt.
+    pub phase_wait: Quantiles,
+    /// Per-commit phase breakdown: execution time of the committing
+    /// attempt (waits excluded).
+    pub phase_exec: Quantiles,
+    /// Per-commit phase breakdown: write-ahead-log flush wait (all
+    /// zero with durability off).
+    pub phase_fsync: Quantiles,
 }
 
 impl MetricsSnapshot {
@@ -443,12 +559,39 @@ impl MetricsSnapshot {
             let _ = write!(s, "{c}");
         }
         s.push_str("],");
+        let _ = write!(
+            s,
+            "\"wal_group_p50\":{},\"wal_group_p99\":{},\"wal_group_p999\":{},",
+            self.wal_group.p50, self.wal_group.p99, self.wal_group.p999
+        );
         let _ = write!(s, "\"queue_depth\":{},", self.queue_depth);
         let _ = write!(s, "\"throughput_per_sec\":{:.3},", self.throughput_per_sec);
         let _ = write!(s, "\"lock_wait_p50_ns\":{},", self.lock_wait_p50.as_nanos());
         let _ = write!(s, "\"lock_wait_p99_ns\":{},", self.lock_wait_p99.as_nanos());
+        let _ = write!(
+            s,
+            "\"lock_wait_p999_ns\":{},",
+            self.lock_wait_p999.as_nanos()
+        );
         let _ = write!(s, "\"e2e_p50_ns\":{},", self.e2e_p50.as_nanos());
         let _ = write!(s, "\"e2e_p99_ns\":{},", self.e2e_p99.as_nanos());
+        let _ = write!(s, "\"e2e_p999_ns\":{},", self.e2e_p999.as_nanos());
+        s.push_str("\"phases\":{");
+        for (i, (name, q)) in [
+            ("queue", &self.phase_queue),
+            ("wait", &self.phase_wait),
+            ("exec", &self.phase_exec),
+            ("fsync", &self.phase_fsync),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                s.push(',');
+            }
+            q.write_json(&mut s, name);
+        }
+        s.push_str("},");
         let _ = write!(s, "\"cross_shard\":{},", self.cross_shard);
         s.push_str("\"shards\":[");
         for (i, lane) in self.shards.iter().enumerate() {
@@ -533,13 +676,63 @@ mod tests {
             }
         }
         assert_eq!(h.len(), 100);
-        let p50 = h.quantile(0.5);
-        let p99 = h.quantile(0.99);
-        assert!(p50 <= p99);
+        let q = h.quantiles();
+        assert!(q.p50 <= q.p99 && q.p99 <= q.p999, "{q:?} must be ordered");
         assert!(
-            p99 >= Duration::from_micros(8),
-            "p99 {p99:?} spans top bucket"
+            q.p99 >= Duration::from_micros(8),
+            "p99 {:?} spans top bucket",
+            q.p99
         );
+    }
+
+    /// p50 ≤ p99 ≤ p999 on every distribution shape we throw at it,
+    /// and the log-linear interpolation separates p99 from p999 when
+    /// enough samples share the top bucket.
+    #[test]
+    fn p999_is_monotone_and_interpolated() {
+        // 2000 samples in ONE bucket: interpolation must still order
+        // (and separate) the quantiles inside it
+        let h = Histogram::default();
+        for _ in 0..2000 {
+            h.record(Duration::from_nanos(70_000)); // bucket [2^16, 2^17)
+        }
+        let q = h.quantiles();
+        assert!(q.p50 <= q.p99 && q.p99 <= q.p999, "{q:?}");
+        assert!(
+            q.p999 > q.p99 && q.p99 > q.p50,
+            "interpolation separates ranks inside one bucket: {q:?}"
+        );
+        assert!(q.p50 >= Duration::from_nanos(1 << 16));
+        assert!(q.p999 < Duration::from_nanos(1 << 17));
+        // a heavy-tailed shape: 989 fast + 9 slow + 1 very slow (999
+        // samples, so the p999 rank is the single tail sample)
+        let h = Histogram::default();
+        for _ in 0..989 {
+            h.record(Duration::from_micros(10));
+        }
+        for _ in 0..9 {
+            h.record(Duration::from_millis(1));
+        }
+        h.record(Duration::from_millis(100));
+        let q = h.quantiles();
+        assert!(q.p50 <= q.p99 && q.p99 <= q.p999, "{q:?}");
+        assert!(q.p50 < Duration::from_micros(20), "p50 is fast: {q:?}");
+        assert!(
+            q.p99 >= Duration::from_micros(500) && q.p99 < Duration::from_millis(3),
+            "p99 lands in the slow band: {q:?}"
+        );
+        assert!(
+            q.p999 >= Duration::from_millis(64),
+            "p999 finds the tail sample: {q:?}"
+        );
+    }
+
+    #[test]
+    fn empty_quantiles_are_zero_sentinels() {
+        let h = Histogram::default();
+        let q = h.quantiles();
+        assert_eq!(q, Quantiles::default());
+        assert_eq!(q.p999, Duration::ZERO);
     }
 
     #[test]
@@ -559,7 +752,7 @@ mod tests {
         let q = h.quantile(1.0);
         assert!(
             q < Duration::from_secs(1),
-            "fall-through must return a real bucket midpoint, got {q:?}"
+            "fall-through must return a real in-bucket value, got {q:?}"
         );
         assert_eq!(q, h.quantile(0.01), "only one bucket is populated");
     }
@@ -631,12 +824,22 @@ mod tests {
             "\"group_commits\":2",
             "\"wal_group_mean\":",
             "\"wal_group_buckets\":[0,1]",
+            "\"wal_group_p50\":",
+            "\"wal_group_p99\":",
+            "\"wal_group_p999\":",
             "\"queue_depth\":",
             "\"throughput_per_sec\":",
             "\"lock_wait_p50_ns\":",
             "\"lock_wait_p99_ns\":",
+            "\"lock_wait_p999_ns\":",
             "\"e2e_p50_ns\":",
             "\"e2e_p99_ns\":",
+            "\"e2e_p999_ns\":",
+            "\"phases\":{\"queue\":{\"p50_ns\":",
+            "\"wait\":{\"p50_ns\":",
+            "\"exec\":{\"p50_ns\":",
+            "\"fsync\":{\"p50_ns\":",
+            "\"p999_ns\":",
             "\"cross_shard\":",
             "\"shards\":[",
             "\"ops\":1",

@@ -283,6 +283,18 @@ fn mvcc_commit(
     result
 }
 
+/// The committing attempt's phase breakdown, accumulated by
+/// [`process_job`] and recorded into the phase histograms at
+/// acknowledgement time (fsync wait is measured inside [`ack_commit`]
+/// itself, around the durability wait).
+#[derive(Clone, Copy)]
+struct CommitPhases {
+    /// Total grant/certification wait of the committing attempt.
+    wait: Duration,
+    /// Attempt begin to commit decision, minus `wait`.
+    exec: Duration,
+}
+
 /// Commit acknowledgement: when durability is on, block until the log
 /// is durable through the attempt's commit record (group-batching with
 /// concurrent committers), and only then count and trace the commit —
@@ -297,9 +309,11 @@ fn ack_commit(
     record_metrics: bool,
     wal: &Wal<'_>,
     commit_end: Option<usize>,
+    phases: CommitPhases,
 ) {
     if let Some(dur) = shared.dur.as_ref() {
         if let Some(end) = commit_end {
+            let t0 = Instant::now();
             dur.wait_durable(
                 end,
                 &shared.metrics,
@@ -308,6 +322,9 @@ fn ack_commit(
                 handle.attempt,
                 handle.owner.0 as u32,
             );
+            if record_metrics {
+                shared.metrics.phase_fsync.record(t0.elapsed());
+            }
         }
         dur.note_acked(job.id);
     }
@@ -320,6 +337,8 @@ fn ack_commit(
     if record_metrics {
         shared.metrics.committed.fetch_add(1, Ordering::Relaxed);
         shared.metrics.e2e.record(job.submitted_at.elapsed());
+        shared.metrics.phase_wait.record(phases.wait);
+        shared.metrics.phase_exec.record(phases.exec);
     }
     shared.trace.emit_txn(handle, || TraceEventKind::Committed);
 }
@@ -336,6 +355,12 @@ pub(crate) fn run_worker(
     crate::trace::set_worker_id(index);
     // queue depth is published by the queue itself on every change
     while let Some(job) = queue.pop() {
+        // queue-wait phase: submission to this pop (recorded once per
+        // job; retries never re-enter the queue)
+        shared
+            .metrics
+            .phase_queue
+            .record(job.submitted_at.elapsed());
         process_job(shared, cc, cfg, &job, true);
     }
 }
@@ -391,6 +416,11 @@ pub(crate) fn process_job(
             .emit_txn(&handle, || TraceEventKind::AttemptBegin {
                 ops: job.ops.len(),
             });
+        // phase timers: this attempt's start and its accumulated
+        // grant/certification waits, split out of execution time when
+        // (and only when) the attempt commits
+        let attempt_start = Instant::now();
+        let mut wait_total = Duration::ZERO;
 
         // MVCC snapshot execution: writes stay in this buffer until the
         // commit point instead of executing in place
@@ -412,6 +442,7 @@ pub(crate) fn process_job(
             let t0 = Instant::now();
             let grant = cc.before_op(shared, &handle, op);
             let waited = t0.elapsed();
+            wait_total += waited;
             if record_metrics {
                 shared.metrics.lock_wait.record(waited);
             }
@@ -498,7 +529,19 @@ pub(crate) fn process_job(
                 ) {
                     Ok(commit_end) => {
                         cc.after_commit(shared, &handle);
-                        ack_commit(shared, &handle, job, record_metrics, &wal, commit_end);
+                        let phases = CommitPhases {
+                            wait: wait_total,
+                            exec: attempt_start.elapsed().saturating_sub(wait_total),
+                        };
+                        ack_commit(
+                            shared,
+                            &handle,
+                            job,
+                            record_metrics,
+                            &wal,
+                            commit_end,
+                            phases,
+                        );
                         return;
                     }
                     Err(comp_events) => {
@@ -535,11 +578,26 @@ pub(crate) fn process_job(
                             end
                         };
                         cc.after_commit(shared, &handle);
-                        ack_commit(shared, &handle, job, record_metrics, &wal, commit_end);
+                        let phases = CommitPhases {
+                            wait: wait_total,
+                            exec: attempt_start.elapsed().saturating_sub(wait_total),
+                        };
+                        ack_commit(
+                            shared,
+                            &handle,
+                            job,
+                            record_metrics,
+                            &wal,
+                            commit_end,
+                            phases,
+                        );
                         return;
                     }
                     FinishOutcome::Wait => {
                         rounds += 1;
+                        // commit-dependency polls are certification
+                        // waits, not execution
+                        wait_total += FINISH_POLL;
                         if record_metrics {
                             shared
                                 .metrics

@@ -4,6 +4,10 @@
 //!
 //! Run with: `cargo run --example engine`
 //!
+//! With `--json <path>` the final run's `MetricsSnapshot` is dumped as
+//! JSON to `<path>`, so ad-hoc runs feed the same tooling as the
+//! regime matrix (`bench_matrix compare` and friends).
+//!
 //! With `--trace <path>` the last run (sharded MVCC) is traced:
 //! the structured event log is written to `<path>` as JSONL and to
 //! `<path>.chrome.json` in Chrome `trace_event` format (load it at
@@ -16,15 +20,17 @@ use oodb::engine::{CcKind, EngineConfig, OptimisticExec, TraceMode};
 use oodb::sim::{encyclopedia_workload, EncMix, EncWorkloadConfig, Skew};
 
 fn main() {
-    let trace_path = {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        args.iter().position(|a| a == "--trace").map(|i| {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
             args.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("usage: engine [--trace <path>]");
+                eprintln!("usage: engine [--trace <path>] [--json <path>]");
                 std::process::exit(2);
             })
         })
     };
+    let trace_path = flag("--trace");
+    let json_path = flag("--json");
 
     let workload = encyclopedia_workload(&EncWorkloadConfig {
         txns: 24,
@@ -76,6 +82,12 @@ fn main() {
             verdict(audit.report.oo_global.is_ok()),
             verdict(audit.report.conventional.is_ok()),
         );
+        if i == combos.len() - 1 {
+            if let Some(path) = &json_path {
+                std::fs::write(path, out.metrics.to_json()).expect("write metrics JSON");
+                println!("{:<22} metrics json -> {path}\n", "");
+            }
+        }
         if let (Some(path), Some(log)) = (&trace_path, &out.trace) {
             let chrome_path = format!("{path}.chrome.json");
             std::fs::write(path, to_jsonl(log)).expect("write JSONL trace");
