@@ -33,7 +33,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: bench_matrix run [--smoke|--full] [--commit <label>] [--out <path>]\n\
                  \x20      bench_matrix compare <old.json> <new.json> \
-                 [--tol-throughput <ratio>] [--tol-p99 <ratio>] [--warn-only]"
+                 [--tol-throughput <ratio>] [--tol-p99 <ratio>] \
+                 [--focus <id-substring>] [--warn-only]"
             );
             ExitCode::from(2)
         }
@@ -142,7 +143,7 @@ fn compare(args: &[String]) -> ExitCode {
     let skip: Vec<&str> = args
         .iter()
         .enumerate()
-        .filter(|(_, a)| *a == "--tol-throughput" || *a == "--tol-p99")
+        .filter(|(_, a)| *a == "--tol-throughput" || *a == "--tol-p99" || *a == "--focus")
         .filter_map(|(i, _)| args.get(i + 1).map(String::as_str))
         .collect();
     let paths: Vec<&String> = paths
@@ -160,6 +161,7 @@ fn compare(args: &[String]) -> ExitCode {
     if let Some(v) = flag_value(args, "--tol-p99") {
         tol.p99 = v.parse().expect("--tol-p99 ratio");
     }
+    let focus = flag_value(args, "--focus");
     let warn_only = args.iter().any(|a| a == "--warn-only");
 
     let (old, new) = match (load(old_path), load(new_path)) {
@@ -173,7 +175,7 @@ fn compare(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let cmp = report::compare(&old, &new, tol);
+    let cmp = report::compare_focused(&old, &new, tol, focus);
     println!(
         "compared {} cells ({} vs {})",
         cmp.compared,
@@ -182,6 +184,9 @@ fn compare(args: &[String]) -> ExitCode {
     );
     for u in &cmp.unmatched {
         println!("note: {u}");
+    }
+    for f in &cmp.focus {
+        println!("focus: {f}");
     }
     for r in &cmp.regressions {
         println!("REGRESSION: {r}");

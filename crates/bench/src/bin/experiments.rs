@@ -1,5 +1,5 @@
 //! Experiment driver: regenerate the paper's figures and the quantitative
-//! tables. Usage: `experiments [fig1|fig2|fig4|fig5|fig6|fig7|fig8|gap|b1|b2|b3|b4|b5|…|b15|all]…`
+//! tables. Usage: `experiments [fig1|fig2|fig4|fig5|fig6|fig7|fig8|gap|b1|b2|b3|b4|b5|…|b16|all]…`
 
 use oodb_bench::{figures, matrix, quant};
 
@@ -28,13 +28,14 @@ fn run(id: &str) -> Option<String> {
         "b13" => quant::b13(),
         "b14" => quant::b14(),
         "b15" => matrix::b15(),
+        "b16" => quant::b16(),
         _ => return None,
     })
 }
 
-const ALL: [&str; 23] = [
+const ALL: [&str; 24] = [
     "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "gap", "b1", "b2", "b3", "b4", "b5",
-    "b6", "b7", "b8", "b9", "b10", "b11", "b12", "b13", "b14", "b15",
+    "b6", "b7", "b8", "b9", "b10", "b11", "b12", "b13", "b14", "b15", "b16",
 ];
 
 fn main() {

@@ -269,7 +269,7 @@ fn banking_schema() -> oodb_model::TypeRegistry {
 /// instance large enough to have split its leaves.
 pub fn fig2() -> String {
     let rec = Recorder::new();
-    let mut enc = Encyclopedia::create(
+    let enc = Encyclopedia::create(
         rec.clone(),
         EncyclopediaConfig {
             fanout: 4,

@@ -488,6 +488,11 @@ pub struct Comparison {
     pub unmatched: Vec<String>,
     /// Cells compared.
     pub compared: usize,
+    /// Movement lines for every focused cell (id-substring match),
+    /// reported whether or not the cell moved beyond tolerance — the
+    /// cells a change claims to improve should be visible in CI output
+    /// even when they stay inside the noise band.
+    pub focus: Vec<String>,
 }
 
 impl Comparison {
@@ -500,6 +505,13 @@ impl Comparison {
 /// Diff two parsed reports cell-by-cell (matched on `id`), flagging
 /// throughput and p99 movements beyond `tol`.
 pub fn compare(old: &Json, new: &Json, tol: Tolerances) -> Comparison {
+    compare_focused(old, new, tol, None)
+}
+
+/// [`compare`], additionally reporting the movement of every cell whose
+/// `id` contains `focus` (e.g. `"pessimistic/sh"` for the sharded-2PL
+/// cells the latched encyclopedia is supposed to unblock).
+pub fn compare_focused(old: &Json, new: &Json, tol: Tolerances, focus: Option<&str>) -> Comparison {
     let mut out = Comparison::default();
     let empty: Vec<Json> = Vec::new();
     let old_cells = old.get("cells").and_then(Json::as_arr).unwrap_or(&empty);
@@ -521,6 +533,16 @@ pub fn compare(old: &Json, new: &Json, tol: Tolerances) -> Comparison {
         out.compared += 1;
         let tput = |c: &Json| c.get("throughput_per_sec").and_then(Json::as_f64);
         let p99 = |c: &Json| c.path("metrics.e2e_p99_ns").and_then(Json::as_f64);
+        if let Some(f) = focus {
+            if id.contains(f) {
+                if let (Some(old_t), Some(new_t)) = (tput(prev), tput(cell)) {
+                    out.focus.push(format!(
+                        "{id}: throughput {old_t:.1}/s -> {new_t:.1}/s ({:+.1}%)",
+                        (new_t / old_t.max(f64::MIN_POSITIVE) - 1.0) * 100.0
+                    ));
+                }
+            }
+        }
         if let (Some(old_t), Some(new_t)) = (tput(prev), tput(cell)) {
             if old_t > 0.0 && new_t < old_t * tol.throughput {
                 out.regressions.push(format!(
@@ -688,6 +710,27 @@ mod tests {
         // improvement is never a regression
         let fast = Json::parse(&tiny_report(5000.0, 100_000)).unwrap();
         assert!(compare(&old, &fast, tol).ok());
+    }
+
+    #[test]
+    fn compare_focus_reports_movement_inside_tolerance() {
+        let old = Json::parse(&tiny_report(1000.0, 1_000_000)).unwrap();
+        let faster = Json::parse(&tiny_report(1200.0, 1_000_000)).unwrap();
+        // a 1.2x improvement is inside every tolerance, so plain compare
+        // says nothing about it...
+        let plain = compare(&old, &faster, Tolerances::default());
+        assert!(plain.ok() && plain.focus.is_empty());
+        // ...but a matching focus substring surfaces it
+        let focused = compare_focused(&old, &faster, Tolerances::default(), Some("cell-"));
+        assert_eq!(focused.focus.len(), 1);
+        assert!(
+            focused.focus[0].contains("+20.0%"),
+            "movement line: {:?}",
+            focused.focus
+        );
+        // a non-matching focus stays silent
+        let miss = compare_focused(&old, &faster, Tolerances::default(), Some("nope"));
+        assert!(miss.focus.is_empty());
     }
 
     #[test]

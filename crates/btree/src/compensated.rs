@@ -17,11 +17,16 @@ use oodb_core::commutativity::ActionDescriptor;
 use oodb_core::compensation::{CompensationLog, Inverse, InverseRegistry};
 use oodb_core::value::{key, Value};
 use oodb_model::TxnCtx;
+use parking_lot::Mutex;
 
 /// Encyclopedia with compensation logging and semantic abort.
+///
+/// Shared across worker threads: the encyclopedia itself is internally
+/// latched, and the compensation log sits behind its own mutex (brief,
+/// per-operation critical sections only).
 pub struct CompensatedEncyclopedia {
     enc: Encyclopedia,
-    log: CompensationLog,
+    log: Mutex<CompensationLog>,
     registry: InverseRegistry,
 }
 
@@ -41,7 +46,7 @@ impl CompensatedEncyclopedia {
     pub fn new(enc: Encyclopedia) -> Self {
         CompensatedEncyclopedia {
             enc,
-            log: CompensationLog::new(),
+            log: Mutex::new(CompensationLog::new()),
             registry: InverseRegistry::new(),
         }
     }
@@ -53,30 +58,32 @@ impl CompensatedEncyclopedia {
 
     /// Pending inverses of a transaction.
     pub fn pending(&self, ctx: &TxnCtx) -> usize {
-        self.log.pending(ctx.txn_number())
+        self.log.lock().pending(ctx.txn_number())
     }
 
     /// The inverse captured for the transaction's most recent effectful
     /// operation — what the engine's write-ahead logger pairs with the
     /// redo record it appends right after executing the operation.
-    pub fn last_inverse(&self, ctx: &TxnCtx) -> Option<&oodb_core::compensation::Inverse> {
-        self.log.last(ctx.txn_number())
+    /// Returned by value: the log lives behind a mutex.
+    pub fn last_inverse(&self, ctx: &TxnCtx) -> Option<Inverse> {
+        self.log.lock().last(ctx.txn_number()).cloned()
     }
 
     /// Insert; logs `delete(key)` as the inverse.
-    pub fn insert(&mut self, ctx: &mut TxnCtx, k: &str, text: &str) -> Option<ItemId> {
+    pub fn insert(&self, ctx: &mut TxnCtx, k: &str, text: &str) -> Option<ItemId> {
         let id = self.enc.insert(ctx, k, text)?;
         let inverse = self
             .registry
             .invert(&ActionDescriptor::new("insert", vec![key(k)]), None)
             .expect("insert is invertible");
         self.log
+            .lock()
             .push(ctx.txn_number(), Inverse::new("Enc", inverse));
         Some(id)
     }
 
     /// Change an item's text; logs an update back to the previous text.
-    pub fn change(&mut self, ctx: &mut TxnCtx, k: &str, text: &str) -> bool {
+    pub fn change(&self, ctx: &mut TxnCtx, k: &str, text: &str) -> bool {
         // capture the previous text through the ordinary (recorded) path:
         // compensation data is state the transaction legitimately read
         let Some(old) = self.enc.search(ctx, k) else {
@@ -93,12 +100,13 @@ impl CompensatedEncyclopedia {
             )
             .expect("update is invertible");
         self.log
+            .lock()
             .push(ctx.txn_number(), Inverse::new("Enc", inverse));
         true
     }
 
     /// Delete; logs a re-insert of the removed text.
-    pub fn delete(&mut self, ctx: &mut TxnCtx, k: &str) -> bool {
+    pub fn delete(&self, ctx: &mut TxnCtx, k: &str) -> bool {
         let Some(old) = self.enc.search(ctx, k) else {
             return false;
         };
@@ -113,6 +121,7 @@ impl CompensatedEncyclopedia {
             )
             .expect("delete is invertible");
         self.log
+            .lock()
             .push(ctx.txn_number(), Inverse::new("Enc", inverse));
         true
     }
@@ -128,8 +137,8 @@ impl CompensatedEncyclopedia {
     }
 
     /// Commit: the transaction's effects stand; drop its inverses.
-    pub fn commit(&mut self, ctx: TxnCtx) {
-        self.log.commit(ctx.txn_number());
+    pub fn commit(&self, ctx: TxnCtx) {
+        self.log.lock().commit(ctx.txn_number());
         drop(ctx);
     }
 
@@ -137,8 +146,8 @@ impl CompensatedEncyclopedia {
     /// supplied *compensation transaction* context (a fresh top-level
     /// transaction, typically named `C(T_n)`), then drop the original
     /// context.
-    pub fn abort(&mut self, aborted: TxnCtx, comp_ctx: &mut TxnCtx) -> AbortReport {
-        let plan = self.log.abort_plan(aborted.txn_number());
+    pub fn abort(&self, aborted: TxnCtx, comp_ctx: &mut TxnCtx) -> AbortReport {
+        let plan = self.log.lock().abort_plan(aborted.txn_number());
         drop(aborted);
         let mut report = AbortReport {
             compensated: Vec::new(),
@@ -213,7 +222,7 @@ mod tests {
 
     #[test]
     fn abort_restores_semantic_state() {
-        let (mut enc, rec) = setup();
+        let (enc, rec) = setup();
         let mut seed = rec.begin_txn("Seed");
         enc.insert(&mut seed, "DBS", "database systems");
         enc.insert(&mut seed, "DBMS", "v1");
@@ -238,7 +247,7 @@ mod tests {
 
     #[test]
     fn commit_discards_the_log() {
-        let (mut enc, rec) = setup();
+        let (enc, rec) = setup();
         let mut t = rec.begin_txn("T");
         enc.insert(&mut t, "DBS", "x");
         assert_eq!(enc.pending(&t), 1);
@@ -251,7 +260,7 @@ mod tests {
 
     #[test]
     fn reads_are_not_logged() {
-        let (mut enc, rec) = setup();
+        let (enc, rec) = setup();
         let mut seed = rec.begin_txn("Seed");
         enc.insert(&mut seed, "DBS", "x");
         enc.commit(seed);
@@ -267,7 +276,7 @@ mod tests {
         // T1 aborts; T2 (commuting: different keys) committed in between.
         // Compensation must not clobber T2's work — the whole point of
         // semantic (rather than before-image) undo.
-        let (mut enc, rec) = setup();
+        let (enc, rec) = setup();
         let mut t1 = rec.begin_txn("T1");
         let mut t2 = rec.begin_txn("T2");
         enc.insert(&mut t1, "DBS", "t1 item");
@@ -297,7 +306,7 @@ mod tests {
 
     #[test]
     fn failed_compensation_is_reported() {
-        let (mut enc, rec) = setup();
+        let (enc, rec) = setup();
         let mut t1 = rec.begin_txn("T1");
         enc.insert(&mut t1, "DBS", "x");
         // another transaction deletes T1's key before the abort — a
@@ -315,7 +324,7 @@ mod tests {
 
     #[test]
     fn nested_change_chain_unwinds_in_reverse() {
-        let (mut enc, rec) = setup();
+        let (enc, rec) = setup();
         let mut seed = rec.begin_txn("Seed");
         enc.insert(&mut seed, "K", "v0");
         enc.commit(seed);

@@ -13,13 +13,20 @@ use oodb_core::commutativity::{ActionDescriptor, RangeSpec};
 use oodb_core::ids::ObjectIdx;
 use oodb_core::value::key as keyval;
 use oodb_model::{Recorder, TxnCtx};
-use oodb_storage::BufferPool;
+use oodb_storage::{BufferManager, BufferPool};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The encyclopedia object: a B-link tree index over a linked item list.
+///
+/// All operations take `&self`: the tree is latch-coupled
+/// ([`oodb_btree::latch`](crate::latch)) and the list uses a list-wide
+/// read/write latch, so the encyclopedia is shared freely across worker
+/// threads without an outer mutex.
 pub struct Encyclopedia {
     rec: Recorder,
     enc_obj: ObjectIdx,
+    mgr: BufferManager,
     tree: BLinkTree,
     list: ItemList,
 }
@@ -34,6 +41,9 @@ pub struct EncyclopediaConfig {
     pub fanout: usize,
     /// Buffer pool frames.
     pub pool_frames: usize,
+    /// Simulated device latency per buffer-pool fetch miss (slept outside
+    /// all pool locks, so concurrent misses overlap like a disk queue).
+    pub io_latency: Duration,
 }
 
 impl Default for EncyclopediaConfig {
@@ -42,6 +52,7 @@ impl Default for EncyclopediaConfig {
             name: "Enc".to_owned(),
             fanout: 16,
             pool_frames: 1024,
+            io_latency: Duration::ZERO,
         }
     }
 }
@@ -53,15 +64,18 @@ impl Encyclopedia {
             config.pool_frames,
             required_page_size(config.fanout).max(512),
         );
+        pool.set_io_latency(config.io_latency);
+        let mgr = BufferManager::new(pool);
         let enc_obj = rec.object(
             &config.name,
             Arc::new(RangeSpec::ordered_container("encyclopedia")),
         );
-        let tree = BLinkTree::create(pool.clone(), rec.clone(), "BpTree", config.fanout);
-        let list = ItemList::create(pool, rec.clone(), "LinkedList");
+        let tree = BLinkTree::create(mgr.clone(), rec.clone(), "BpTree", config.fanout);
+        let list = ItemList::create(mgr.pool().clone(), rec.clone(), "LinkedList");
         Encyclopedia {
             rec,
             enc_obj,
+            mgr,
             tree,
             list,
         }
@@ -82,6 +96,11 @@ impl Encyclopedia {
         &self.rec
     }
 
+    /// The shared buffer pool (stats, durable watermark).
+    pub fn pool(&self) -> &BufferPool {
+        self.mgr.pool()
+    }
+
     /// The underlying tree (for structure dumps and integrity checks).
     pub fn tree(&self) -> &BLinkTree {
         &self.tree
@@ -94,7 +113,7 @@ impl Encyclopedia {
 
     /// Insert a new item under `key`. Returns the item id, or `None` if
     /// the key already exists (no overwrite at the encyclopedia level).
-    pub fn insert(&mut self, ctx: &mut TxnCtx, key: &str, text: &str) -> Option<ItemId> {
+    pub fn insert(&self, ctx: &mut TxnCtx, key: &str, text: &str) -> Option<ItemId> {
         ctx.enter(
             self.enc_obj,
             ActionDescriptor::new("insert", vec![keyval(key)]),
@@ -125,7 +144,7 @@ impl Encyclopedia {
     }
 
     /// Change the text of the item under `key` (Example 4's `T2`).
-    pub fn change(&mut self, ctx: &mut TxnCtx, key: &str, text: &str) -> bool {
+    pub fn change(&self, ctx: &mut TxnCtx, key: &str, text: &str) -> bool {
         ctx.enter(
             self.enc_obj,
             ActionDescriptor::new("update", vec![keyval(key)]),
@@ -139,7 +158,7 @@ impl Encyclopedia {
     }
 
     /// Delete the item under `key`.
-    pub fn delete(&mut self, ctx: &mut TxnCtx, key: &str) -> bool {
+    pub fn delete(&self, ctx: &mut TxnCtx, key: &str) -> bool {
         ctx.enter(
             self.enc_obj,
             ActionDescriptor::new("delete", vec![keyval(key)]),
@@ -212,7 +231,7 @@ mod tests {
 
     #[test]
     fn insert_search_change_delete_cycle() {
-        let (mut e, rec) = enc(4);
+        let (e, rec) = enc(4);
         let mut ctx = rec.begin_txn("T1");
         assert!(e.insert(&mut ctx, "DBS", "database systems").is_some());
         // duplicate insert refused
@@ -232,7 +251,7 @@ mod tests {
 
     #[test]
     fn read_seq_returns_live_items_in_order() {
-        let (mut e, rec) = enc(4);
+        let (e, rec) = enc(4);
         let mut ctx = rec.begin_txn("T1");
         e.insert(&mut ctx, "DBS", "a");
         e.insert(&mut ctx, "DBMS", "b");
@@ -246,7 +265,7 @@ mod tests {
 
     #[test]
     fn bulk_load_keeps_tree_and_list_consistent() {
-        let (mut e, rec) = enc(4);
+        let (e, rec) = enc(4);
         let mut ctx = rec.begin_txn("Load");
         for i in 0..100 {
             e.insert(&mut ctx, &format!("k{i:03}"), &format!("text {i}"));
@@ -271,7 +290,7 @@ mod tests {
     fn paper_example1_commuting_inserts() {
         // T1 inserts DBS, T2 inserts DBMS: same leaf, same page, different
         // keys — no top-level ordering results
-        let (mut e, rec) = enc(8);
+        let (e, rec) = enc(8);
         let mut setup = rec.begin_txn("Setup");
         e.insert(&mut setup, "AAA", "seed");
         drop(setup);
@@ -297,7 +316,7 @@ mod tests {
     fn paper_example1_conflicting_insert_search() {
         // T3 inserts DBS; T4 searches DBS afterwards: the dependency is
         // inherited to the top level (T3 -> T4)
-        let (mut e, rec) = enc(8);
+        let (e, rec) = enc(8);
         let mut t3 = rec.begin_txn("T3");
         let mut t4 = rec.begin_txn("T4");
         e.insert(&mut t3, "DBS", "database systems");
@@ -320,7 +339,7 @@ mod tests {
 
     #[test]
     fn range_query_returns_interval() {
-        let (mut e, rec) = enc(4);
+        let (e, rec) = enc(4);
         let mut ctx = rec.begin_txn("Load");
         for k in ["A", "C", "E", "G", "I", "K"] {
             e.insert(&mut ctx, k, &format!("text {k}"));
@@ -340,7 +359,7 @@ mod tests {
         // T1 scans [C,H]; T2 inserts inside the range, T3 outside.
         // The scan orders against T2 but NOT against T3 — exactly
         // interval-precise phantom protection.
-        let (mut e, rec) = enc(8);
+        let (e, rec) = enc(8);
         let mut setup = rec.begin_txn("Setup");
         for k in ["C", "E", "G"] {
             e.insert(&mut setup, k, "seed");
@@ -377,7 +396,7 @@ mod tests {
     fn double_scan_around_in_range_insert_rejected() {
         // unrepeatable range read: T1 scans, T2 inserts inside, T1 scans
         // again — a phantom T1 observed; must be non-serializable
-        let (mut e, rec) = enc(8);
+        let (e, rec) = enc(8);
         let mut setup = rec.begin_txn("Setup");
         e.insert(&mut setup, "C", "seed");
         drop(setup);
@@ -396,7 +415,7 @@ mod tests {
 
     #[test]
     fn structure_dump_mentions_all_parts() {
-        let (mut e, rec) = enc(2);
+        let (e, rec) = enc(2);
         let mut ctx = rec.begin_txn("T");
         for k in ["A", "B", "C", "D", "E"] {
             e.insert(&mut ctx, k, "x");

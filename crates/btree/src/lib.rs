@@ -3,10 +3,12 @@
 //! The paper's running example, built for real over [`oodb_storage`]
 //! pages and recorded through [`oodb_model::Recorder`]:
 //!
-//! * [`node`]/[`tree`] — a B⁺ tree with **B-link** splits and lock
-//!   coupling semantics: leaf splits complete locally and the father is
-//!   rearranged by a separate subtransaction *called from the insert*,
-//!   the call-path cycle motivating the paper's Definition 5;
+//! * [`node`]/[`tree`] — a concurrent B⁺ tree with **B-link** splits and
+//!   real latch coupling ([`latch`]): crabbing with retained ancestors,
+//!   fixed-root in-place splits, every record call under the page latch.
+//!   Leaf splits complete locally and the father is rearranged by a
+//!   separate subtransaction *called from the insert*, the call-path
+//!   cycle motivating the paper's Definition 5;
 //! * [`list`] — the linked list of items with per-item objects;
 //! * [`encyclopedia`] — the `Enc` facade combining both (Figure 2).
 
@@ -14,6 +16,7 @@
 
 pub mod compensated;
 pub mod encyclopedia;
+pub mod latch;
 pub mod list;
 pub mod node;
 pub mod tree;

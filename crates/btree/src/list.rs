@@ -6,16 +6,21 @@
 //! paper's Example 4) with `read`/`write` semantics; the list itself is a
 //! keyed container whose `readSeq` scan conflicts with every updater —
 //! exactly the `T2 ↔ readSeq` dependency of Figure 8.
+//!
+//! Concurrency: one list-wide [`RwLatch`] — mutations latch exclusive,
+//! reads latch shared, so readers scale while the (already
+//! stripe-serialized at the engine level) mutators stay simple. All
+//! recording happens under the latch, keeping each list/item action's
+//! page accesses block-atomic.
 
 use bytes::{Buf, BufMut};
 use oodb_core::commutativity::{ActionDescriptor, KeyedSpec, ReadWriteSpec};
 use oodb_core::ids::ObjectIdx;
 use oodb_core::value::key as keyval;
 use oodb_model::{Recorder, TxnCtx};
-use oodb_storage::{BufferPool, PageError, PageId};
+use oodb_storage::{BufferPool, PageError, PageId, RwLatch};
 use std::collections::HashMap;
-
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Identifier of an item within one list.
 pub type ItemId = u64;
@@ -60,12 +65,9 @@ impl DirEntry {
     }
 }
 
-/// Linked list of items over pages, with per-item objects.
-pub struct ItemList {
-    pool: BufferPool,
-    rec: Recorder,
-    name: String,
-    list_obj: ObjectIdx,
+/// The list's mutable bookkeeping, guarded by one mutex (brief critical
+/// sections only; the page work happens under the list latch).
+struct ListState {
     /// Chain of directory pages, in order (head first). The chain is also
     /// materialized on the pages themselves via next-pointers in record 0.
     chain: Vec<PageId>,
@@ -74,6 +76,17 @@ pub struct ItemList {
     /// Directory cache: id → (directory page, directory slot).
     directory: HashMap<ItemId, (PageId, u16)>,
     next_id: ItemId,
+}
+
+/// Linked list of items over pages, with per-item objects. Shareable
+/// across threads; mutations serialize on the list latch, reads overlap.
+pub struct ItemList {
+    pool: BufferPool,
+    rec: Recorder,
+    name: String,
+    list_obj: ObjectIdx,
+    latch: Arc<RwLatch>,
+    state: Mutex<ListState>,
 }
 
 const CHAIN_HEADER_SLOT: u16 = 0;
@@ -98,10 +111,13 @@ impl ItemList {
             rec,
             name,
             list_obj,
-            chain: vec![head],
-            item_page,
-            directory: HashMap::new(),
-            next_id: 0,
+            latch: RwLatch::new(),
+            state: Mutex::new(ListState {
+                chain: vec![head],
+                item_page,
+                directory: HashMap::new(),
+                next_id: 0,
+            }),
         }
     }
 
@@ -125,29 +141,35 @@ impl ItemList {
             .object(&format!("Item{id}"), Arc::new(ReadWriteSpec))
     }
 
+    fn state(&self) -> std::sync::MutexGuard<'_, ListState> {
+        self.state.lock().expect("list state mutex")
+    }
+
     /// Number of live items.
     pub fn len(&self) -> usize {
-        self.directory.len()
+        self.state().directory.len()
     }
 
     /// True iff no live items exist.
     pub fn is_empty(&self) -> bool {
-        self.directory.is_empty()
+        self.state().directory.is_empty()
     }
 
     /// Append a new item with `key` and `text`; returns its id.
-    pub fn insert(&mut self, ctx: &mut TxnCtx, key: &str, text: &str) -> ItemId {
+    pub fn insert(&self, ctx: &mut TxnCtx, key: &str, text: &str) -> ItemId {
+        let _x = self.latch.acquire_exclusive();
         ctx.enter(
             self.list_obj,
             ActionDescriptor::new("insert", vec![keyval(key)]),
         );
-        let id = self.next_id;
-        self.next_id += 1;
+        let mut state = self.state();
+        let id = state.next_id;
+        state.next_id += 1;
 
         // 1. store the content on an item page, via the item object
         let item_obj = self.item_object(id);
         ctx.enter(item_obj, ActionDescriptor::nullary("write"));
-        let (item_page, item_slot) = self.store_content(text.as_bytes());
+        let (item_page, item_slot) = self.store_content(&mut state, text.as_bytes());
         ctx.page_write(self.page_object(item_page));
         ctx.exit();
 
@@ -159,30 +181,35 @@ impl ItemList {
             item_slot,
             alive: true,
         };
-        let (dir_page, dir_slot) = self.append_directory(ctx, &entry);
-        self.directory.insert(id, (dir_page, dir_slot));
+        let (dir_page, dir_slot) = self.append_directory(&mut state, ctx, &entry);
+        state.directory.insert(id, (dir_page, dir_slot));
         ctx.exit();
         id
     }
 
-    fn store_content(&mut self, bytes: &[u8]) -> (PageId, u16) {
+    fn store_content(&self, state: &mut ListState, bytes: &[u8]) -> (PageId, u16) {
         loop {
-            let pin = self.pool.fetch(self.item_page).expect("item page exists");
+            let pin = self.pool.fetch(state.item_page).expect("item page exists");
             let res = pin.write(|p| p.insert(bytes));
             match res {
-                Ok(slot) => return (self.item_page, slot),
+                Ok(slot) => return (state.item_page, slot),
                 Err(PageError::Full { .. }) => {
                     drop(pin);
                     let fresh = self.pool.allocate().expect("allocating item page");
-                    self.item_page = fresh.id();
+                    state.item_page = fresh.id();
                 }
                 Err(e) => panic!("storing item content: {e}"),
             }
         }
     }
 
-    fn append_directory(&mut self, ctx: &mut TxnCtx, entry: &DirEntry) -> (PageId, u16) {
-        let tail = *self.chain.last().expect("chain never empty");
+    fn append_directory(
+        &self,
+        state: &mut ListState,
+        ctx: &mut TxnCtx,
+        entry: &DirEntry,
+    ) -> (PageId, u16) {
+        let tail = *state.chain.last().expect("chain never empty");
         ctx.page_read(self.page_object(tail));
         let pin = self.pool.fetch(tail).expect("chain page exists");
         let res = pin.write(|p| p.insert(&entry.encode()));
@@ -209,7 +236,7 @@ impl ItemList {
                 drop(old_pin);
                 ctx.page_write(self.page_object(tail));
                 ctx.page_write(self.page_object(new_tail));
-                self.chain.push(new_tail);
+                state.chain.push(new_tail);
                 (new_tail, slot)
             }
             Err(e) => panic!("appending directory record: {e}"),
@@ -224,7 +251,8 @@ impl ItemList {
     /// can lift their order instead of stranding it in the pairwise
     /// added relation (Figure 8's `LinkedList: T2 ↔ readSeq` row).
     pub fn read_item(&self, ctx: &mut TxnCtx, id: ItemId) -> Option<String> {
-        let &(dir_page, dir_slot) = self.directory.get(&id)?;
+        let _s = self.latch.acquire_shared();
+        let &(dir_page, dir_slot) = self.state().directory.get(&id)?;
         let entry = self.load_entry(dir_page, dir_slot);
         if !entry.alive {
             return None;
@@ -251,8 +279,10 @@ impl ItemList {
     /// paper's Example 4: `T2` changes the previously inserted item). The
     /// list-level `update` action carries the dependency to LinkedList —
     /// see [`ItemList::read_item`].
-    pub fn update_item(&mut self, ctx: &mut TxnCtx, id: ItemId, text: &str) -> bool {
-        let Some(&(dir_page, dir_slot)) = self.directory.get(&id) else {
+    pub fn update_item(&self, ctx: &mut TxnCtx, id: ItemId, text: &str) -> bool {
+        let _x = self.latch.acquire_exclusive();
+        let mut state = self.state();
+        let Some(&(dir_page, dir_slot)) = state.directory.get(&id) else {
             return false;
         };
         let mut entry = self.load_entry(dir_page, dir_slot);
@@ -273,7 +303,7 @@ impl ItemList {
         } else {
             // relocation to a fresh page when the old one cannot grow
             drop(pin);
-            let (np, ns) = self.store_content(text.as_bytes());
+            let (np, ns) = self.store_content(&mut state, text.as_bytes());
             ctx.page_write(self.page_object(np));
             entry.item_page = np;
             entry.item_slot = ns;
@@ -291,8 +321,10 @@ impl ItemList {
     }
 
     /// Remove an item: mark its directory record dead and delete content.
-    pub fn remove(&mut self, ctx: &mut TxnCtx, id: ItemId) -> bool {
-        let Some(&(dir_page, dir_slot)) = self.directory.get(&id) else {
+    pub fn remove(&self, ctx: &mut TxnCtx, id: ItemId) -> bool {
+        let _x = self.latch.acquire_exclusive();
+        let mut state = self.state();
+        let Some(&(dir_page, dir_slot)) = state.directory.get(&id) else {
             return false;
         };
         let mut entry = self.load_entry(dir_page, dir_slot);
@@ -321,7 +353,7 @@ impl ItemList {
         drop(item_pin);
         ctx.page_write(self.page_object(entry.item_page));
         ctx.exit();
-        self.directory.remove(&id);
+        state.directory.remove(&id);
         ctx.exit();
         true
     }
@@ -329,9 +361,11 @@ impl ItemList {
     /// Sequential read of all live items, in insertion order — the
     /// paper's `readSeq`. Each item is read through its item object.
     pub fn read_seq(&self, ctx: &mut TxnCtx) -> Vec<(ItemId, String, String)> {
+        let _s = self.latch.acquire_shared();
         ctx.enter(self.list_obj, ActionDescriptor::nullary("readSeq"));
+        let chain = self.state().chain.clone();
         let mut out = Vec::new();
-        for &page in &self.chain {
+        for &page in &chain {
             ctx.page_read(self.page_object(page));
             let entries = self.load_entries(page);
             for entry in entries.into_iter().filter(|e| e.alive) {
@@ -384,7 +418,7 @@ mod tests {
 
     #[test]
     fn insert_read_roundtrip() {
-        let (mut l, rec) = list();
+        let (l, rec) = list();
         let mut ctx = rec.begin_txn("T1");
         let a = l.insert(&mut ctx, "DBS", "database systems");
         let b = l.insert(&mut ctx, "DBMS", "management systems");
@@ -402,7 +436,7 @@ mod tests {
 
     #[test]
     fn update_changes_text_even_across_relocation() {
-        let (mut l, rec) = list();
+        let (l, rec) = list();
         let mut ctx = rec.begin_txn("T1");
         let id = l.insert(&mut ctx, "DBMS", "v1");
         assert!(l.update_item(&mut ctx, id, "v2"));
@@ -416,7 +450,7 @@ mod tests {
 
     #[test]
     fn remove_hides_item() {
-        let (mut l, rec) = list();
+        let (l, rec) = list();
         let mut ctx = rec.begin_txn("T1");
         let id = l.insert(&mut ctx, "DBS", "text");
         assert!(l.remove(&mut ctx, id));
@@ -428,7 +462,7 @@ mod tests {
 
     #[test]
     fn read_seq_in_insertion_order_across_chain_pages() {
-        let (mut l, rec) = list();
+        let (l, rec) = list();
         let mut ctx = rec.begin_txn("T1");
         let n = 40; // enough to overflow 256-byte directory pages
         for i in 0..n {
@@ -441,7 +475,7 @@ mod tests {
             assert_eq!(key, &format!("k{i:02}"));
             assert_eq!(text, &format!("text{i}"));
         }
-        assert!(l.chain.len() > 1, "directory chain must have grown");
+        assert!(l.state().chain.len() > 1, "directory chain must have grown");
         drop(ctx);
     }
 
@@ -449,7 +483,7 @@ mod tests {
     fn item_update_conflicts_with_read_seq() {
         // Figure 8's LinkedList row: T2 (changes an item) and readSeq
         // depend on each other when interleaved around the same item
-        let (mut l, rec) = list();
+        let (l, rec) = list();
         let mut setup = rec.begin_txn("Setup");
         let id = l.insert(&mut setup, "DBMS", "v1");
         drop(setup);
@@ -469,7 +503,7 @@ mod tests {
 
     #[test]
     fn single_scan_and_update_is_serializable() {
-        let (mut l, rec) = list();
+        let (l, rec) = list();
         let mut setup = rec.begin_txn("Setup");
         let id = l.insert(&mut setup, "DBMS", "v1");
         drop(setup);

@@ -1,5 +1,5 @@
-//! A B⁺ tree with B-link splits over simulated pages, recording every
-//! operation as an open-nested transaction.
+//! A concurrent B⁺ tree with B-link splits over latched, buffered pages,
+//! recording every operation as an open-nested transaction.
 //!
 //! Faithful to the paper's §2 description of the index substrate:
 //!
@@ -16,13 +16,21 @@
 //!   [`oodb_core::extension::extend_virtual_objects`];
 //! * deletion is lazy (no merging), a standard simplification that keeps
 //!   the concurrency-relevant access pattern intact.
+//!
+//! Concurrency comes from latch coupling (crabbing) with retained
+//! ancestors and a fixed root page — the protocol, its safety condition,
+//! and the deadlock-freedom argument are documented in [`crate::latch`].
+//! All operations take `&self`; the tree is shared freely across worker
+//! threads.
 
+use crate::latch::{is_safe, read_latched, write_latched, write_node, Retained};
 use crate::node::{Node, MAX_KEY_LEN};
 use oodb_core::commutativity::{ActionDescriptor, RangeSpec, ReadWriteSpec};
 use oodb_core::ids::ObjectIdx;
 use oodb_core::value::key as keyval;
 use oodb_model::{Recorder, TxnCtx};
-use oodb_storage::{BufferPool, PageError, PageId, PinnedPage};
+use oodb_storage::{BufferManager, PageExclusive, PageId};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Smallest page size that always fits a node of `fanout` entries plus
@@ -33,13 +41,22 @@ pub fn required_page_size(fanout: usize) -> usize {
     node + 6 + 4
 }
 
-/// A recorded B-link tree.
+/// A recorded, latch-coupled B-link tree.
 pub struct BLinkTree {
-    pool: BufferPool,
+    mgr: BufferManager,
     rec: Recorder,
     name: String,
     tree_obj: ObjectIdx,
+    /// Immutable: root splits rewrite this page in place.
     root: PageId,
+    /// Bumped on every in-place root split. The rewritten root is a
+    /// *logically fresh* node, so it gets a fresh recorder object — the
+    /// same shape a move-the-root split would record — keeping the
+    /// rearrange off the descent's call path (only *father* rearranges
+    /// coincide with an ancestor's object, the Definition 5 cycle).
+    /// Written only under the root's exclusive latch; read during
+    /// descents, which always hold at least the root's shared latch.
+    root_epoch: AtomicU64,
     fanout: usize,
 }
 
@@ -47,27 +64,33 @@ impl BLinkTree {
     /// Create an empty tree called `name` (its facade object's name) with
     /// at most `fanout` entries per node. Panics if the pool's pages are
     /// too small for `fanout` (see [`required_page_size`]).
-    pub fn create(pool: BufferPool, rec: Recorder, name: impl Into<String>, fanout: usize) -> Self {
+    pub fn create(
+        mgr: BufferManager,
+        rec: Recorder,
+        name: impl Into<String>,
+        fanout: usize,
+    ) -> Self {
         let name = name.into();
         assert!(fanout >= 2, "fanout must be at least 2");
         assert!(
-            pool.page_size() >= required_page_size(fanout),
+            mgr.pool().page_size() >= required_page_size(fanout),
             "page size {} too small for fanout {} (need {})",
-            pool.page_size(),
+            mgr.pool().page_size(),
             fanout,
             required_page_size(fanout)
         );
         let tree_obj = rec.object(&name, Arc::new(RangeSpec::ordered_container("bptree")));
-        let root_pin = pool.allocate().expect("allocating the root page");
+        let root_pin = mgr.allocate().expect("allocating the root page");
         let root = root_pin.id();
         write_node(&root_pin, &Node::leaf());
         drop(root_pin);
         BLinkTree {
-            pool,
+            mgr,
             rec,
             name,
             tree_obj,
             root,
+            root_epoch: AtomicU64::new(0),
             fanout,
         }
     }
@@ -82,16 +105,24 @@ impl BLinkTree {
         &self.name
     }
 
-    /// Current root page.
+    /// The (fixed) root page.
     pub fn root_page(&self) -> PageId {
         self.root
     }
 
     fn node_object(&self, page: PageId) -> ObjectIdx {
-        self.rec.object(
-            &format!("{}.N{}", self.name, page.0),
-            Arc::new(RangeSpec::ordered_container("btree-node")),
-        )
+        let epoch = if page == self.root {
+            self.root_epoch.load(Ordering::Acquire)
+        } else {
+            0 // non-root pages are never reused: stable 1:1 binding
+        };
+        let name = if epoch == 0 {
+            format!("{}.N{}", self.name, page.0)
+        } else {
+            format!("{}.N{}g{}", self.name, page.0, epoch)
+        };
+        self.rec
+            .object(&name, Arc::new(RangeSpec::ordered_container("btree-node")))
     }
 
     fn page_object(&self, page: PageId) -> ObjectIdx {
@@ -99,76 +130,91 @@ impl BLinkTree {
             .object(&format!("Page{}", page.0), Arc::new(ReadWriteSpec))
     }
 
-    fn fetch(&self, page: PageId) -> PinnedPage {
-        self.pool.fetch(page).expect("tree pages exist")
-    }
-
-    fn read_node(&self, page: PageId) -> Node {
-        let pin = self.fetch(page);
+    /// Unlatched node read for single-threaded diagnostics
+    /// (depth/integrity/dump).
+    fn read_node_raw(&self, page: PageId) -> Node {
+        let pin = self.mgr.pool().fetch(page).expect("tree pages exist");
         pin.read(|p| Node::decode(p.read(0).expect("node record present")))
     }
 
     /// Insert `key → value`. Overwrites silently on duplicate key and
     /// returns `false` in that case.
-    pub fn insert(&mut self, ctx: &mut TxnCtx, key: &str, value: u64) -> bool {
+    pub fn insert(&self, ctx: &mut TxnCtx, key: &str, value: u64) -> bool {
         assert!(key.len() <= MAX_KEY_LEN, "key longer than MAX_KEY_LEN");
         ctx.enter(
             self.tree_obj,
             ActionDescriptor::new("insert", vec![keyval(key)]),
         );
-        // Descend with nested insert actions; remember the path of inner
-        // nodes for the rearrangement chain.
-        let mut path: Vec<PageId> = Vec::new();
+        // X-latch-coupled descent retaining ancestors of unsafe children;
+        // every record call happens under the node's latch.
+        let mut retained = Retained::new();
         let mut depth_entered = 0usize;
-        let mut cur = self.root;
-        let leaf = loop {
+        let (mut page, mut node) = write_latched(&self.mgr, self.root);
+        loop {
             ctx.enter(
-                self.node_object(cur),
+                self.node_object(page.id()),
                 ActionDescriptor::new("insert", vec![keyval(key)]),
             );
-            ctx.page_read(self.page_object(cur));
-            let node = self.read_node(cur);
+            ctx.page_read(self.page_object(page.id()));
             if node.must_chase(key) {
-                // B-link chase: this node is no longer responsible
+                // B-link chase (safety net — splits are atomic under the
+                // retained latches, so a writer normally never sees one):
+                // acquire the sibling before releasing the current node.
                 ctx.exit();
-                cur = node.right_link.expect("high key implies right link");
+                let right = node.right_link.expect("high key implies right link");
+                let (rp, rn) = write_latched(&self.mgr, right);
+                page = rp;
+                node = rn;
                 continue;
             }
-            if node.is_leaf {
-                depth_entered += 1;
-                break cur;
+            if is_safe(&node, self.fanout) {
+                // no split below can reach any ancestor: release them all
+                retained.release_all();
             }
             depth_entered += 1;
-            path.push(cur);
-            cur = node.child_for(key);
-        };
+            if node.is_leaf {
+                break;
+            }
+            let child = node.child_for(key);
+            let (cp, cn) = write_latched(&self.mgr, child);
+            retained.push(page, node);
+            page = cp;
+            node = cn;
+        }
 
-        // Leaf work, inside the (still open) leaf insert action.
-        let pin = self.fetch(leaf);
-        let mut node = pin.read(|p| Node::decode(p.read(0).expect("node record")));
+        // Leaf work, inside the (still open) leaf insert action, with the
+        // leaf exclusively latched and every split-reachable ancestor
+        // retained.
         let fresh = node.upsert(key, value);
         if node.entries.len() > self.fanout {
-            let (sep, right) = node.split();
-            let right_pin = self.pool.allocate().expect("allocating split page");
-            let right_page = right_pin.id();
-            // split() already handed the old right link and high key to
-            // the new sibling; B-link: left now points at the sibling
-            // before the father learns anything
-            node.right_link = Some(right_page);
-            write_node(&right_pin, &right);
-            ctx.page_write(self.page_object(right_page));
-            write_node(&pin, &node);
-            ctx.page_write(self.page_object(leaf));
-            drop(right_pin);
-            drop(pin);
-            // rearrange the father — a separate subtransaction called
-            // from this insert (the Definition 5 call-path cycle)
-            self.rearrange(ctx, &mut path, sep, right_page);
+            if page.id() == self.root {
+                // root is the leaf: split it in place
+                self.split_root_in_place(ctx, &page, &mut node);
+                drop(page);
+            } else {
+                let (sep, right) = node.split();
+                let right_pin = self.mgr.allocate().expect("allocating split page");
+                let right_page = right_pin.id();
+                // split() already handed the old right link and high key
+                // to the new sibling; B-link: left now points at the
+                // sibling before the father learns anything
+                node.right_link = Some(right_page);
+                write_node(&right_pin, &right);
+                ctx.page_write(self.page_object(right_page));
+                write_node(&page, &node);
+                ctx.page_write(self.page_object(page.id()));
+                drop(right_pin);
+                drop(page);
+                // rearrange the father — a separate subtransaction called
+                // from this insert (the Definition 5 call-path cycle)
+                self.rearrange(ctx, &mut retained, sep, right_page);
+            }
         } else {
-            write_node(&pin, &node);
-            ctx.page_write(self.page_object(leaf));
-            drop(pin);
+            write_node(&page, &node);
+            ctx.page_write(self.page_object(page.id()));
+            drop(page);
         }
+        retained.release_all();
 
         // close leaf + descent actions + the tree-level insert
         for _ in 0..depth_entered {
@@ -179,90 +225,126 @@ impl BLinkTree {
     }
 
     /// Install `separator → child` in the father (splitting upward as
-    /// needed); creates a new root when the path is exhausted.
+    /// needed). Every father a split can reach is on the retained stack
+    /// and still exclusively latched, so the whole multi-level
+    /// rearrangement is invisible to concurrent traversals.
     fn rearrange(
-        &mut self,
+        &self,
         ctx: &mut TxnCtx,
-        path: &mut Vec<PageId>,
+        retained: &mut Retained,
         separator: String,
         child: PageId,
     ) {
-        match path.pop() {
-            None => {
-                // root split: a fresh root over (old root, child)
-                let new_pin = self.pool.allocate().expect("allocating new root");
-                let new_root = new_pin.id();
-                ctx.enter(
-                    self.node_object(new_root),
-                    ActionDescriptor::new("rearrange", vec![keyval(&separator)]),
-                );
-                let mut node = Node::inner(self.root);
-                node.upsert(&separator, child.0 as u64);
-                write_node(&new_pin, &node);
-                ctx.page_write(self.page_object(new_root));
-                ctx.exit();
-                self.root = new_root;
+        let (page, mut node) = retained
+            .pop()
+            .expect("a splitting node's father is always retained");
+        ctx.enter(
+            self.node_object(page.id()),
+            ActionDescriptor::new("rearrange", vec![keyval(&separator)]),
+        );
+        ctx.page_read(self.page_object(page.id()));
+        node.upsert(&separator, child.0 as u64);
+        if node.entries.len() > self.fanout {
+            if page.id() == self.root {
+                // rewrite in place; the nested action lands on the fresh
+                // root object, off this rearrange's call path
+                self.split_root_in_place(ctx, &page, &mut node);
+                drop(page);
+            } else {
+                let (sep2, right) = node.split();
+                let right_pin = self.mgr.allocate().expect("allocating split page");
+                let right_page = right_pin.id();
+                node.right_link = Some(right_page);
+                write_node(&right_pin, &right);
+                ctx.page_write(self.page_object(right_page));
+                write_node(&page, &node);
+                ctx.page_write(self.page_object(page.id()));
+                drop(right_pin);
+                drop(page);
+                // the father's father is rearranged from within this
+                // rearrangement
+                self.rearrange(ctx, retained, sep2, right_page);
             }
-            Some(parent) => {
-                ctx.enter(
-                    self.node_object(parent),
-                    ActionDescriptor::new("rearrange", vec![keyval(&separator)]),
-                );
-                ctx.page_read(self.page_object(parent));
-                let pin = self.fetch(parent);
-                let mut node = pin.read(|p| Node::decode(p.read(0).expect("node record")));
-                node.upsert(&separator, child.0 as u64);
-                if node.entries.len() > self.fanout {
-                    let (sep2, right) = node.split();
-                    let right_pin = self.pool.allocate().expect("allocating split page");
-                    let right_page = right_pin.id();
-                    node.right_link = Some(right_page);
-                    write_node(&right_pin, &right);
-                    ctx.page_write(self.page_object(right_page));
-                    write_node(&pin, &node);
-                    ctx.page_write(self.page_object(parent));
-                    drop(right_pin);
-                    drop(pin);
-                    // the father's father is rearranged from within this
-                    // rearrangement
-                    self.rearrange(ctx, path, sep2, right_page);
-                } else {
-                    write_node(&pin, &node);
-                    ctx.page_write(self.page_object(parent));
-                    drop(pin);
-                }
-                ctx.exit();
-            }
+        } else {
+            write_node(&page, &node);
+            ctx.page_write(self.page_object(page.id()));
+            drop(page);
         }
+        ctx.exit();
     }
 
-    /// Exact-match lookup.
+    /// Split an overflowed root *in place*: move both halves out to fresh
+    /// pages and rewrite the root page as an inner node over them. The
+    /// root `PageId` never changes, so concurrent descents (which all
+    /// start at the immutable root id) race only on the root latch, which
+    /// the caller holds exclusively.
+    ///
+    /// The `rearrange` is recorded on the *next epoch's* root object: the
+    /// rewritten root is a logically fresh node (new children, new role),
+    /// so — exactly as a split that moved the root to a fresh page would —
+    /// its action must not land on the object every ancestor on the
+    /// descent path already entered. Recording it there would manufacture
+    /// a call-path cycle whose Definition 5 extension duplicates every
+    /// *other* transaction's traversal onto the virtual object, turning
+    /// read-only descents into phantom node-level conflicts.
+    fn split_root_in_place(&self, ctx: &mut TxnCtx, root_page: &PageExclusive, node: &mut Node) {
+        let (sep, right) = node.split();
+        // safe to bump before the writes: we hold the root's exclusive
+        // latch, so no concurrent descent can observe the half-made epoch
+        self.root_epoch.fetch_add(1, Ordering::AcqRel);
+        ctx.enter(
+            self.node_object(root_page.id()),
+            ActionDescriptor::new("rearrange", vec![keyval(&sep)]),
+        );
+        let left_pin = self.mgr.allocate().expect("allocating root left half");
+        let right_pin = self.mgr.allocate().expect("allocating root right half");
+        // left half keeps chaining to the right half; the right half
+        // inherited the root's (empty) link and high key from split()
+        node.right_link = Some(right_pin.id());
+        write_node(&left_pin, node);
+        ctx.page_write(self.page_object(left_pin.id()));
+        write_node(&right_pin, &right);
+        ctx.page_write(self.page_object(right_pin.id()));
+        let mut new_root = Node::inner(left_pin.id());
+        new_root.upsert(&sep, right_pin.id().0 as u64);
+        write_node(root_page, &new_root);
+        ctx.page_write(self.page_object(root_page.id()));
+        ctx.exit();
+    }
+
+    /// Exact-match lookup. S-latch-coupled descent.
     pub fn search(&self, ctx: &mut TxnCtx, key: &str) -> Option<u64> {
         ctx.enter(
             self.tree_obj,
             ActionDescriptor::new("search", vec![keyval(key)]),
         );
         let mut depth_entered = 0usize;
-        let mut cur = self.root;
+        let (mut page, mut node) = read_latched(&self.mgr, self.root);
         let result = loop {
             ctx.enter(
-                self.node_object(cur),
+                self.node_object(page.id()),
                 ActionDescriptor::new("search", vec![keyval(key)]),
             );
-            ctx.page_read(self.page_object(cur));
-            let node = self.read_node(cur);
+            ctx.page_read(self.page_object(page.id()));
             if node.must_chase(key) {
                 ctx.exit();
-                cur = node.right_link.expect("high key implies right link");
+                let right = node.right_link.expect("high key implies right link");
+                let (rp, rn) = read_latched(&self.mgr, right);
+                page = rp;
+                node = rn;
                 continue;
             }
+            depth_entered += 1;
             if node.is_leaf {
-                depth_entered += 1;
                 break node.get(key);
             }
-            depth_entered += 1;
-            cur = node.child_for(key);
+            let child = node.child_for(key);
+            let (cp, cn) = read_latched(&self.mgr, child);
+            // coupling: child latched before the parent is released
+            page = cp;
+            node = cn;
         };
+        drop(page);
         for _ in 0..depth_entered {
             ctx.exit();
         }
@@ -271,40 +353,43 @@ impl BLinkTree {
     }
 
     /// Remove `key`; returns its value if present. Lazy: leaves are never
-    /// merged.
-    pub fn delete(&mut self, ctx: &mut TxnCtx, key: &str) -> Option<u64> {
+    /// merged, so the X-latch-coupled descent retains nothing.
+    pub fn delete(&self, ctx: &mut TxnCtx, key: &str) -> Option<u64> {
         ctx.enter(
             self.tree_obj,
             ActionDescriptor::new("delete", vec![keyval(key)]),
         );
         let mut depth_entered = 0usize;
-        let mut cur = self.root;
+        let (mut page, mut node) = write_latched(&self.mgr, self.root);
         let removed = loop {
             ctx.enter(
-                self.node_object(cur),
+                self.node_object(page.id()),
                 ActionDescriptor::new("delete", vec![keyval(key)]),
             );
-            ctx.page_read(self.page_object(cur));
-            let node = self.read_node(cur);
+            ctx.page_read(self.page_object(page.id()));
             if node.must_chase(key) {
                 ctx.exit();
-                cur = node.right_link.expect("high key implies right link");
+                let right = node.right_link.expect("high key implies right link");
+                let (rp, rn) = write_latched(&self.mgr, right);
+                page = rp;
+                node = rn;
                 continue;
             }
+            depth_entered += 1;
             if node.is_leaf {
-                depth_entered += 1;
-                let pin = self.fetch(cur);
-                let mut node = node;
                 let removed = node.remove(key);
                 if removed.is_some() {
-                    write_node(&pin, &node);
-                    ctx.page_write(self.page_object(cur));
+                    write_node(&page, &node);
+                    ctx.page_write(self.page_object(page.id()));
                 }
                 break removed;
             }
-            depth_entered += 1;
-            cur = node.child_for(key);
+            let child = node.child_for(key);
+            let (cp, cn) = write_latched(&self.mgr, child);
+            page = cp;
+            node = cn;
         };
+        drop(page);
         for _ in 0..depth_entered {
             ctx.exit();
         }
@@ -314,39 +399,55 @@ impl BLinkTree {
 
     /// Full ordered scan over the leaf chain, recorded as the keyless
     /// `readSeq` (conflicts with every updater, commutes with readers).
+    /// S-latch-coupled down the leftmost spine, then rightward along the
+    /// chain (each leaf's sibling is latched before the leaf is
+    /// released).
     pub fn scan(&self, ctx: &mut TxnCtx) -> Vec<(String, u64)> {
         ctx.enter(self.tree_obj, ActionDescriptor::nullary("readSeq"));
         // descend the leftmost spine
-        let mut cur = self.root;
         let mut depth_entered = 0usize;
+        let (mut page, mut node) = read_latched(&self.mgr, self.root);
         loop {
-            ctx.enter(self.node_object(cur), ActionDescriptor::nullary("readSeq"));
-            ctx.page_read(self.page_object(cur));
-            let node = self.read_node(cur);
+            ctx.enter(
+                self.node_object(page.id()),
+                ActionDescriptor::nullary("readSeq"),
+            );
+            ctx.page_read(self.page_object(page.id()));
+            depth_entered += 1;
             if node.is_leaf {
-                depth_entered += 1;
                 break;
             }
-            depth_entered += 1;
-            cur = node.first_child.expect("inner node has first child");
+            let child = node.first_child.expect("inner node has first child");
+            let (cp, cn) = read_latched(&self.mgr, child);
+            page = cp;
+            node = cn;
         }
         // walk the chain
         let mut out = Vec::new();
-        let mut leaf = Some(cur);
         let mut first = true;
-        while let Some(p) = leaf {
+        loop {
             if !first {
-                ctx.enter(self.node_object(p), ActionDescriptor::nullary("readSeq"));
-                ctx.page_read(self.page_object(p));
+                ctx.enter(
+                    self.node_object(page.id()),
+                    ActionDescriptor::nullary("readSeq"),
+                );
+                ctx.page_read(self.page_object(page.id()));
                 ctx.exit();
             }
-            let node = self.read_node(p);
             for e in &node.entries {
                 out.push((e.key.clone(), e.value));
             }
-            leaf = node.right_link;
             first = false;
+            match node.right_link {
+                Some(next) => {
+                    let (np, nn) = read_latched(&self.mgr, next);
+                    page = np;
+                    node = nn;
+                }
+                None => break,
+            }
         }
+        drop(page);
         for _ in 0..depth_entered {
             ctx.exit();
         }
@@ -366,35 +467,37 @@ impl BLinkTree {
         // reads that node's slice of the interval — this is what makes an
         // in-range insert into the same leaf a conflict, i.e. phantom
         // protection)
-        let mut cur = self.root;
         let mut depth_entered = 0usize;
+        let (mut page, mut node) = read_latched(&self.mgr, self.root);
         loop {
-            ctx.enter(self.node_object(cur), scan.clone());
-            ctx.page_read(self.page_object(cur));
-            let node = self.read_node(cur);
+            ctx.enter(self.node_object(page.id()), scan.clone());
+            ctx.page_read(self.page_object(page.id()));
             if node.must_chase(lo) {
                 ctx.exit();
-                cur = node.right_link.expect("high key implies right link");
+                let right = node.right_link.expect("high key implies right link");
+                let (rp, rn) = read_latched(&self.mgr, right);
+                page = rp;
+                node = rn;
                 continue;
             }
+            depth_entered += 1;
             if node.is_leaf {
-                depth_entered += 1;
                 break;
             }
-            depth_entered += 1;
-            cur = node.child_for(lo);
+            let child = node.child_for(lo);
+            let (cp, cn) = read_latched(&self.mgr, child);
+            page = cp;
+            node = cn;
         }
         // walk the chain collecting keys in [lo, hi]
         let mut out = Vec::new();
-        let mut leaf = Some(cur);
         let mut first = true;
-        'chain: while let Some(p) = leaf {
+        'chain: loop {
             if !first {
-                ctx.enter(self.node_object(p), scan.clone());
-                ctx.page_read(self.page_object(p));
+                ctx.enter(self.node_object(page.id()), scan.clone());
+                ctx.page_read(self.page_object(page.id()));
                 ctx.exit();
             }
-            let node = self.read_node(p);
             for e in &node.entries {
                 if e.key.as_str() > hi {
                     break 'chain;
@@ -403,9 +506,17 @@ impl BLinkTree {
                     out.push((e.key.clone(), e.value));
                 }
             }
-            leaf = node.right_link;
             first = false;
+            match node.right_link {
+                Some(next) => {
+                    let (np, nn) = read_latched(&self.mgr, next);
+                    page = np;
+                    node = nn;
+                }
+                None => break,
+            }
         }
+        drop(page);
         for _ in 0..depth_entered {
             ctx.exit();
         }
@@ -413,12 +524,13 @@ impl BLinkTree {
         out
     }
 
-    /// Depth of the tree (1 = root is a leaf). Unrecorded helper.
+    /// Depth of the tree (1 = root is a leaf). Unrecorded, unlatched
+    /// single-threaded diagnostic.
     pub fn depth(&self) -> usize {
         let mut d = 1;
         let mut cur = self.root;
         loop {
-            let node = self.read_node(cur);
+            let node = self.read_node_raw(cur);
             if node.is_leaf {
                 return d;
             }
@@ -429,7 +541,7 @@ impl BLinkTree {
 
     /// Structural integrity check: uniform leaf depth, per-node
     /// invariants, keys within `[low, high)` responsibility bounds, leaf
-    /// chain globally sorted.
+    /// chain globally sorted. Unlatched single-threaded diagnostic.
     pub fn check_integrity(&self) -> Result<(), String> {
         let mut leaf_depths = Vec::new();
         self.check_rec(self.root, None, None, 1, &mut leaf_depths)?;
@@ -439,7 +551,7 @@ impl BLinkTree {
         // leaf chain sorted end to end
         let mut cur = self.root;
         loop {
-            let node = self.read_node(cur);
+            let node = self.read_node_raw(cur);
             if node.is_leaf {
                 break;
             }
@@ -448,7 +560,7 @@ impl BLinkTree {
         let mut prev: Option<String> = None;
         let mut leaf = Some(cur);
         while let Some(p) = leaf {
-            let node = self.read_node(p);
+            let node = self.read_node_raw(p);
             for e in &node.entries {
                 if let Some(pv) = &prev {
                     if pv.as_str() >= e.key.as_str() {
@@ -470,7 +582,7 @@ impl BLinkTree {
         depth: usize,
         leaf_depths: &mut Vec<usize>,
     ) -> Result<(), String> {
-        let node = self.read_node(page);
+        let node = self.read_node_raw(page);
         node.check_invariants()
             .map_err(|e| format!("{page}: {e}"))?;
         for e in &node.entries {
@@ -520,7 +632,7 @@ impl BLinkTree {
     }
 
     fn dump_rec(&self, page: PageId, depth: usize, out: &mut String) {
-        let node = self.read_node(page);
+        let node = self.read_node_raw(page);
         let kind = if node.is_leaf { "Leaf" } else { "Node" };
         out.push_str(&"  ".repeat(depth));
         let keys: Vec<&str> = node.entries.iter().map(|e| e.key.as_str()).collect();
@@ -542,45 +654,22 @@ impl BLinkTree {
     }
 }
 
-/// Write a node into a page's record 0, compacting on fragmentation.
-fn write_node(pin: &PinnedPage, node: &Node) {
-    let bytes = node.encode();
-    pin.write(|p| {
-        let result = if p.slot_count() == 0 {
-            p.insert(&bytes).map(|_| ())
-        } else {
-            p.update(0, &bytes)
-        };
-        match result {
-            Ok(()) => {}
-            Err(PageError::Full { .. }) => {
-                p.compact();
-                if p.slot_count() == 0 {
-                    p.insert(&bytes).map(|_| ()).expect("sized for fanout");
-                } else {
-                    p.update(0, &bytes).expect("sized for fanout");
-                }
-            }
-            Err(e) => panic!("writing node: {e}"),
-        }
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use oodb_core::prelude::{analyze, extend_virtual_objects};
+    use oodb_storage::BufferPool;
 
     fn tree(fanout: usize) -> (BLinkTree, Recorder) {
         let rec = Recorder::new();
-        let pool = BufferPool::new(256, required_page_size(fanout));
-        let t = BLinkTree::create(pool, rec.clone(), "BpTree", fanout);
+        let mgr = BufferManager::new(BufferPool::new(256, required_page_size(fanout)));
+        let t = BLinkTree::create(mgr, rec.clone(), "BpTree", fanout);
         (t, rec)
     }
 
     #[test]
     fn insert_and_search_roundtrip() {
-        let (mut t, rec) = tree(4);
+        let (t, rec) = tree(4);
         let mut ctx = rec.begin_txn("T1");
         for (i, k) in ["DBS", "DBMS", "OODB", "IRS"].iter().enumerate() {
             assert!(t.insert(&mut ctx, k, i as u64));
@@ -595,7 +684,7 @@ mod tests {
 
     #[test]
     fn duplicate_insert_overwrites() {
-        let (mut t, rec) = tree(4);
+        let (t, rec) = tree(4);
         let mut ctx = rec.begin_txn("T1");
         assert!(t.insert(&mut ctx, "K", 1));
         assert!(!t.insert(&mut ctx, "K", 2));
@@ -605,7 +694,7 @@ mod tests {
 
     #[test]
     fn splits_keep_integrity_and_data() {
-        let (mut t, rec) = tree(3);
+        let (t, rec) = tree(3);
         let mut ctx = rec.begin_txn("T1");
         let keys: Vec<String> = (0..60).map(|i| format!("k{:03}", i * 7 % 60)).collect();
         for (i, k) in keys.iter().enumerate() {
@@ -625,7 +714,7 @@ mod tests {
 
     #[test]
     fn delete_removes_and_tolerates_missing() {
-        let (mut t, rec) = tree(4);
+        let (t, rec) = tree(4);
         let mut ctx = rec.begin_txn("T1");
         for i in 0..20 {
             t.insert(&mut ctx, &format!("k{i:02}"), i);
@@ -640,7 +729,7 @@ mod tests {
 
     #[test]
     fn recorded_history_is_serializable_for_single_txn() {
-        let (mut t, rec) = tree(3);
+        let (t, rec) = tree(3);
         let mut ctx = rec.begin_txn("T1");
         for i in 0..30 {
             t.insert(&mut ctx, &format!("k{i:02}"), i);
@@ -659,7 +748,7 @@ mod tests {
 
     #[test]
     fn commuting_inserts_leave_top_level_unordered() {
-        let (mut t, rec) = tree(8);
+        let (t, rec) = tree(8);
         // pre-populate so both transactions hit the same leaf
         let mut setup = rec.begin_txn("Setup");
         t.insert(&mut setup, "AAA", 0);
@@ -687,7 +776,7 @@ mod tests {
         // construct a tree, split a leaf, then search keys that live in
         // the right sibling while descending via a stale parent route:
         // the high-key chase must still find them
-        let (mut t, rec) = tree(2);
+        let (t, rec) = tree(2);
         let mut ctx = rec.begin_txn("T1");
         for (i, k) in ["A", "B", "C", "D", "E", "F"].iter().enumerate() {
             t.insert(&mut ctx, k, i as u64);
@@ -700,8 +789,53 @@ mod tests {
     }
 
     #[test]
+    fn root_page_is_fixed_across_splits() {
+        let (t, rec) = tree(2);
+        let root_before = t.root_page();
+        let mut ctx = rec.begin_txn("T1");
+        for k in ["A", "B", "C", "D", "E", "F", "G", "H"] {
+            t.insert(&mut ctx, k, 0);
+        }
+        drop(ctx);
+        assert!(t.depth() >= 2, "root must have split");
+        assert_eq!(t.root_page(), root_before, "root splits rewrite in place");
+        t.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn concurrent_inserts_under_latches_keep_integrity() {
+        let rec = Recorder::new();
+        let mgr = BufferManager::new(BufferPool::new(512, required_page_size(3)));
+        let t = std::sync::Arc::new(BLinkTree::create(mgr, rec.clone(), "BpTree", 3));
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let t = std::sync::Arc::clone(&t);
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    let mut ctx = rec.begin_txn(format!("T{w}"));
+                    for i in 0..40 {
+                        t.insert(&mut ctx, &format!("w{w}k{i:03}"), i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        t.check_integrity().unwrap();
+        let mut ctx = rec.begin_txn("Check");
+        assert_eq!(t.scan(&mut ctx).len(), 160);
+        for w in 0..4u64 {
+            for i in 0..40 {
+                assert_eq!(t.search(&mut ctx, &format!("w{w}k{i:03}")), Some(i));
+            }
+        }
+        drop(ctx);
+    }
+
+    #[test]
     fn dump_shows_structure() {
-        let (mut t, rec) = tree(2);
+        let (t, rec) = tree(2);
         let mut ctx = rec.begin_txn("T1");
         for k in ["A", "B", "C", "D", "E"] {
             t.insert(&mut ctx, k, 0);
@@ -717,7 +851,7 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn undersized_pool_rejected() {
         let rec = Recorder::new();
-        let pool = BufferPool::new(16, 64);
-        let _ = BLinkTree::create(pool, rec, "T", 16);
+        let mgr = BufferManager::new(BufferPool::new(16, 64));
+        let _ = BLinkTree::create(mgr, rec, "T", 16);
     }
 }

@@ -23,24 +23,24 @@ pub use pessimistic::PessimisticCc;
 pub use sharded::{shard_of_key, Shardable, ShardedCc, ShardedOptimisticCc, ShardedPessimisticCc};
 pub use versions::VersionStore;
 
+use crate::db::ConcurrentEnc;
 use crate::metrics::EngineMetrics;
 use crate::trace::Tracer;
-use oodb_btree::CompensatedEncyclopedia;
 use oodb_core::history::History;
 use oodb_core::ids::TxnIdx;
 use oodb_core::system::TransactionSystem;
 use oodb_lock::OwnerId;
 use oodb_model::Recorder;
 use oodb_sim::EncOp;
-use parking_lot::Mutex;
 
 /// Execution environment shared by every worker and the concurrency
 /// control: the recorder, the database, and the metrics sink.
 pub struct EngineShared {
     /// Recorder underlying all transactions (call trees + history).
     pub rec: Recorder,
-    /// The shared compensated encyclopedia all transactions touch.
-    pub enc: Mutex<CompensatedEncyclopedia>,
+    /// The shared compensated encyclopedia all transactions touch,
+    /// behind the latched/striped access layer (see [`crate::db`]).
+    pub enc: ConcurrentEnc,
     /// Atomic counters and latency histograms.
     pub metrics: EngineMetrics,
     /// Structured lifecycle tracing (the disabled tracer by default).

@@ -62,6 +62,41 @@ impl OptimisticExec {
     }
 }
 
+/// How workers execute encyclopedia operations against the shared
+/// database (see [`crate::db::ConcurrentEnc`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPath {
+    /// One global mutex around the whole encyclopedia: every operation,
+    /// commit, and abort serializes through it. The pre-latching engine,
+    /// kept as the differential oracle for the latched path.
+    SingleMutex,
+    /// Per-page latch coupling inside the B-link tree plus striped
+    /// operation sequencing: keyed operations take one stripe
+    /// (exclusive for writes, shared for reads), whole-container scans
+    /// take every stripe shared, and only MVCC install/abort tails take
+    /// every stripe exclusive. Disjoint keys execute concurrently.
+    Latched {
+        /// Number of sequencing stripes keyed by `shard_of_key`.
+        stripes: usize,
+    },
+}
+
+impl Default for ExecPath {
+    fn default() -> Self {
+        ExecPath::Latched { stripes: 16 }
+    }
+}
+
+impl ExecPath {
+    /// Short lowercase label used in metrics and experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecPath::SingleMutex => "single-mutex",
+            ExecPath::Latched { .. } => "latched",
+        }
+    }
+}
+
 /// When (and whether) commits wait for the write-ahead log (see
 /// [`crate::durability`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -192,6 +227,15 @@ pub struct EngineConfig {
     /// Simulated latency of one log force (fsync). Zero by default so
     /// tests run fast; B14 raises it to make batching visible.
     pub fsync_latency: Duration,
+    /// How workers execute against the shared database: per-page latch
+    /// coupling with striped sequencing (the default) or the legacy
+    /// whole-encyclopedia mutex, kept as the differential oracle.
+    pub exec: ExecPath,
+    /// Buffer-pool capacity, in frames, of the underlying encyclopedia.
+    pub pool_frames: usize,
+    /// Simulated latency of one buffer-pool miss (page read from disk).
+    /// Zero by default; B16 raises it so overlapping misses are visible.
+    pub io_latency: Duration,
 }
 
 impl Default for EngineConfig {
@@ -212,6 +256,9 @@ impl Default for EngineConfig {
             certification: CertBackend::Incremental,
             durability: DurabilityMode::Off,
             fsync_latency: Duration::ZERO,
+            exec: ExecPath::default(),
+            pool_frames: 4096,
+            io_latency: Duration::ZERO,
         }
     }
 }
@@ -264,5 +311,13 @@ mod tests {
             .label(),
             "group(8)"
         );
+        assert!(
+            matches!(c.exec, ExecPath::Latched { stripes } if stripes > 0),
+            "latched execution is the default; the single mutex is the oracle"
+        );
+        assert_eq!(ExecPath::SingleMutex.label(), "single-mutex");
+        assert_eq!(ExecPath::default().label(), "latched");
+        assert!(c.pool_frames >= 64);
+        assert_eq!(c.io_latency, Duration::ZERO);
     }
 }

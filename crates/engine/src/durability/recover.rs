@@ -103,7 +103,7 @@ struct ReplayTxn {
     finished: bool,
 }
 
-fn apply(enc: &mut Encyclopedia, ctx: &mut TxnCtx, op: &EngineOp) -> bool {
+fn apply(enc: &Encyclopedia, ctx: &mut TxnCtx, op: &EngineOp) -> bool {
     match op {
         EngineOp::Insert { key, text } => enc.insert(ctx, key, text).is_some(),
         EngineOp::Change { key, text } => enc.change(ctx, key, text),
@@ -152,7 +152,7 @@ pub fn recover_traced(image: &[u8], fanout: usize, trace: &Tracer) -> RecoveryOu
     };
 
     let rec = Recorder::new();
-    let mut enc = Encyclopedia::create(
+    let enc = Encyclopedia::create(
         rec.clone(),
         EncyclopediaConfig {
             fanout,
@@ -188,7 +188,7 @@ pub fn recover_traced(image: &[u8], fanout: usize, trace: &Tracer) -> RecoveryOu
             EngineRecord::Op { txn, redo, comp } => {
                 let t = txns.get_mut(txn).expect("Op after Begin");
                 let ctx = t.ctx.as_mut().expect("Op before terminator");
-                apply(&mut enc, ctx, redo);
+                apply(&enc, ctx, redo);
                 t.comps.push((idx, comp.clone()));
                 stats.ops += 1;
             }
@@ -199,7 +199,7 @@ pub fn recover_traced(image: &[u8], fanout: usize, trace: &Tracer) -> RecoveryOu
                     let ctx = t
                         .comp_ctx
                         .get_or_insert_with(|| rec.begin_txn(format!("C({name})")));
-                    apply(&mut enc, ctx, op);
+                    apply(&enc, ctx, op);
                     stats.comps += 1;
                 }
                 t.comps_seen += 1;
@@ -239,7 +239,7 @@ pub fn recover_traced(image: &[u8], fanout: usize, trace: &Tracer) -> RecoveryOu
         let ctx = t
             .comp_ctx
             .get_or_insert_with(|| rec.begin_txn(format!("C({name})")));
-        apply(&mut enc, ctx, op);
+        apply(&enc, ctx, op);
         stats.loser_comps += 1;
     }
     for t in txns.values_mut() {

@@ -39,6 +39,7 @@
 pub mod audit;
 pub mod cc;
 pub mod config;
+pub mod db;
 pub mod durability;
 pub mod metrics;
 pub mod queue;
@@ -51,7 +52,10 @@ pub use cc::{
     PessimisticCc, ShardRoute, Shardable, ShardedCc, ShardedOptimisticCc, ShardedPessimisticCc,
     TxnHandle, VersionStore,
 };
-pub use config::{CcKind, CertBackend, DurabilityMode, EngineConfig, OptimisticExec, TraceMode};
+pub use config::{
+    CcKind, CertBackend, DurabilityMode, EngineConfig, ExecPath, OptimisticExec, TraceMode,
+};
+pub use db::{ConcurrentEnc, EncSection};
 pub use durability::{recover, recover_traced, Durability, RecoveryOutcome, ReplayStats};
 pub use metrics::{
     EngineMetrics, Histogram, MetricsSnapshot, Quantiles, ShardLane, ShardLaneSnapshot,
@@ -66,7 +70,6 @@ pub use worker::retry_delay;
 
 use oodb_btree::{CompensatedEncyclopedia, Encyclopedia, EncyclopediaConfig};
 use oodb_sim::{EncOp, EncWorkload};
-use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -144,10 +147,16 @@ impl Engine {
             rec.clone(),
             EncyclopediaConfig {
                 fanout: cfg.fanout,
-                pool_frames: 4096,
+                pool_frames: cfg.pool_frames,
+                io_latency: cfg.io_latency,
                 ..EncyclopediaConfig::default()
             },
         );
+        if cfg.durability.is_on() {
+            // dirty data pages may only be evicted once the log covers
+            // their redo — see pool::advance_durable_floor
+            enc.pool().gate_evictions();
+        }
         let metrics = EngineMetrics::with_shards(cc.shards());
         let queue = Arc::new(JobQueue::with_depth_gauge(
             cfg.queue_capacity,
@@ -155,7 +164,7 @@ impl Engine {
         ));
         let shared = Arc::new(EngineShared {
             rec,
-            enc: Mutex::new(CompensatedEncyclopedia::new(enc)),
+            enc: ConcurrentEnc::new(CompensatedEncyclopedia::new(enc), cfg.exec),
             metrics,
             trace: Tracer::from_mode(&cfg.trace, cfg.workers.max(1)),
             dur: cfg

@@ -178,7 +178,7 @@ impl<'a> Wal<'a> {
         };
         let comp = enc
             .last_inverse(ctx)
-            .and_then(comp_of)
+            .and_then(|inv| comp_of(&inv))
             .expect("every effectful mutation captures an inverse");
         self.log_op(m, redo, comp);
     }
@@ -202,13 +202,15 @@ fn mvcc_commit(
     base: &str,
     wal: &mut Wal<'_>,
 ) -> Result<Option<usize>, Vec<(u64, EncOp, bool)>> {
-    let mut enc = shared.enc.lock();
+    // the whole install + certify + commit happens under every stripe:
+    // buffered writes become visible as one atomic batch
+    let enc = shared.enc.exclusive();
     // install: seqs claimed inside the critical section, so OpGranted
     // order still equals recorded history order (the trace invariant)
     let mut installs = Vec::new();
     for op in buffered {
         let seq = shared.trace.enabled().then(|| shared.trace.claim_seq());
-        let hit = apply_op(&mut enc, &mut ctx, op, job.id.wrapping_add(1) as usize);
+        let hit = apply_op(&enc, &mut ctx, op, job.id.wrapping_add(1) as usize);
         wal.log_executed(
             &shared.metrics,
             &enc,
@@ -314,6 +316,11 @@ fn ack_commit(
     if let Some(dur) = shared.dur.as_ref() {
         if let Some(end) = commit_end {
             let t0 = Instant::now();
+            // every data-page write this commit performed is stamped with
+            // an LSN ≤ the pool clock read here, and its log record sits
+            // at or before `end` — once the log is durable through `end`,
+            // those pages are redo-covered and safe to evict
+            let mark = shared.enc.inner().inner().pool().current_lsn();
             dur.wait_durable(
                 end,
                 &shared.metrics,
@@ -322,6 +329,12 @@ fn ack_commit(
                 handle.attempt,
                 handle.owner.0 as u32,
             );
+            shared
+                .enc
+                .inner()
+                .inner()
+                .pool()
+                .advance_durable_floor(mark);
             if record_metrics {
                 shared.metrics.phase_fsync.record(t0.elapsed());
             }
@@ -453,16 +466,18 @@ pub(crate) fn process_job(
                         // the same critical section as certification
                         buffered.push(op.clone());
                     } else {
-                        // the op's trace seq is claimed INSIDE the database
-                        // critical section, so seq order over OpGranted
-                        // events equals the recorded history order — the
-                        // invariant trace::analyze rebuilds the dependency
-                        // graph from
+                        // the op's trace seq is claimed INSIDE the op's
+                        // sequencing section (its key's stripe, or all
+                        // stripes shared for scans), so seq order over
+                        // conflicting OpGranted events equals the
+                        // recorded history order — the invariant
+                        // trace::analyze rebuilds the dependency graph
+                        // from; disjoint-key sections overlap freely
                         let (seq, hit) = {
-                            let mut enc = shared.enc.lock();
+                            let enc = shared.enc.for_op(op);
                             let seq = shared.trace.enabled().then(|| shared.trace.claim_seq());
                             let hit = apply_op(
-                                &mut enc,
+                                &enc,
                                 ctx.as_mut().expect("attempt ctx live during ops"),
                                 op,
                                 job.id.wrapping_add(1) as usize,
@@ -566,15 +581,21 @@ pub(crate) fn process_job(
                 }
                 match cc.try_finish(shared, &handle) {
                     FinishOutcome::Committed => {
-                        // commit marker appended under the same critical
-                        // section that finalizes the commit, so any
-                        // transaction that later observes our effects
-                        // appends strictly after it — the durable prefix
-                        // can never keep an observer while losing us
+                        // commit marker appended while this transaction
+                        // still holds its strict-2PL locks (released only
+                        // by after_commit below), so any transaction that
+                        // later observes our effects appends strictly
+                        // after it — the durable prefix can never keep an
+                        // observer while losing us. The single-mutex
+                        // oracle additionally wraps this in the full
+                        // critical section, its historical behaviour.
                         let commit_end = {
-                            let mut enc = shared.enc.lock();
+                            let _section = shared.enc.commit_section();
                             let end = wal.log_commit(&shared.metrics);
-                            enc.commit(ctx.take().expect("attempt ctx live at commit"));
+                            shared
+                                .enc
+                                .inner()
+                                .commit(ctx.take().expect("attempt ctx live at commit"));
                             end
                         };
                         cc.after_commit(shared, &handle);
@@ -634,7 +655,7 @@ pub(crate) fn process_job(
         let comp_events = if let Some(events) = comp_done.take() {
             events
         } else {
-            let mut enc = shared.enc.lock();
+            let enc = shared.enc.exclusive();
             let mut comp = shared.rec.begin_txn(format!("C({base}a{attempt})"));
             let report = enc.abort(ctx.take().expect("attempt ctx live at abort"), &mut comp);
             if cc.strict_compensation() {

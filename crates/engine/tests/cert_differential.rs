@@ -22,15 +22,14 @@
 
 use oodb_btree::{CompensatedEncyclopedia, Encyclopedia, EncyclopediaConfig};
 use oodb_engine::{
-    audit, shard_of_key, CcKind, CertBackend, ConcurrencyControl, EngineConfig, EngineMetrics,
-    EngineOutput, EngineShared, FinishOutcome, OpGrant, OptimisticCc, OptimisticExec,
-    ShardedOptimisticCc, TxnHandle,
+    audit, shard_of_key, CcKind, CertBackend, ConcurrencyControl, ConcurrentEnc, EngineConfig,
+    EngineMetrics, EngineOutput, EngineShared, ExecPath, FinishOutcome, OpGrant, OptimisticCc,
+    OptimisticExec, ShardedOptimisticCc, TxnHandle,
 };
 use oodb_lock::OwnerId;
 use oodb_model::TxnCtx;
 use oodb_sim::exec::apply_op;
 use oodb_sim::EncOp;
-use parking_lot::Mutex;
 use proptest::prelude::*;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -112,7 +111,7 @@ impl VirtualScheduler {
         );
         let shared = EngineShared {
             rec,
-            enc: Mutex::new(CompensatedEncyclopedia::new(enc)),
+            enc: ConcurrentEnc::new(CompensatedEncyclopedia::new(enc), ExecPath::SingleMutex),
             metrics: EngineMetrics::with_shards(cc.shards()),
             trace: oodb_engine::Tracer::disabled(),
             dur: None,
@@ -190,8 +189,8 @@ impl VirtualScheduler {
             OpGrant::Granted => {
                 self.decisions
                     .push(format!("t{t}a{} op{}: granted", a.attempt, a.cursor));
-                let mut enc = self.shared.enc.lock();
-                apply_op(&mut enc, &mut a.ctx, &op, t + 1);
+                let enc = self.shared.enc.lock();
+                apply_op(&enc, &mut a.ctx, &op, t + 1);
                 drop(enc);
                 a.cursor += 1;
             }
@@ -233,7 +232,7 @@ impl VirtualScheduler {
     fn abort_attempt(&mut self, t: usize, a: Attempt) {
         let next = a.attempt + 1;
         {
-            let mut enc = self.shared.enc.lock();
+            let enc = self.shared.enc.lock();
             let mut comp = self.shared.rec.begin_txn(format!(
                 "C(J{}a{})",
                 (t as u64).wrapping_add(1),
@@ -311,9 +310,9 @@ impl VirtualScheduler {
             let op = a.ops[a.cursor].clone();
             match self.cc.before_op(&self.shared, &a.handle, &op) {
                 OpGrant::Granted => {
-                    let mut enc = self.shared.enc.lock();
+                    let enc = self.shared.enc.lock();
                     apply_op(
-                        &mut enc,
+                        &enc,
                         &mut a.ctx,
                         &op,
                         (a.handle.job as usize).wrapping_add(1),

@@ -9,13 +9,13 @@
 use oodb_btree::{CompensatedEncyclopedia, Encyclopedia, EncyclopediaConfig};
 use oodb_core::ids::TxnIdx;
 use oodb_engine::{
-    audit, shard_of_key, CertBackend, ConcurrencyControl, Engine, EngineConfig, EngineMetrics,
-    EngineShared, FinishOutcome, OpGrant, ShardedOptimisticCc, ShardedPessimisticCc, TxnHandle,
+    audit, shard_of_key, CertBackend, ConcurrencyControl, ConcurrentEnc, Engine, EngineConfig,
+    EngineMetrics, EngineShared, ExecPath, FinishOutcome, OpGrant, ShardedOptimisticCc,
+    ShardedPessimisticCc, TxnHandle,
 };
 use oodb_lock::OwnerId;
 use oodb_sim::exec::apply_op;
 use oodb_sim::EncOp;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// `n` keys, one per shard of an `n`-way partition (probed via the
@@ -151,7 +151,7 @@ fn shared_with(cc_shards: usize) -> EngineShared {
     );
     EngineShared {
         rec,
-        enc: Mutex::new(CompensatedEncyclopedia::new(enc)),
+        enc: ConcurrentEnc::new(CompensatedEncyclopedia::new(enc), ExecPath::SingleMutex),
         metrics: EngineMetrics::with_shards(cc_shards),
         trace: oodb_engine::Tracer::disabled(),
         dur: None,
@@ -173,7 +173,7 @@ fn direct_drive_pessimistic_partial_acquisition_cleanup() {
     for k in &keys {
         let op = EncOp::Insert(k.clone());
         assert_eq!(cc.before_op(&shared, &setup_handle, &op), OpGrant::Granted);
-        apply_op(&mut shared.enc.lock(), &mut setup, &op, 0);
+        apply_op(&shared.enc.lock(), &mut setup, &op, 0);
     }
     assert_eq!(
         cc.try_finish(&shared, &setup_handle),
@@ -188,7 +188,7 @@ fn direct_drive_pessimistic_partial_acquisition_cleanup() {
     for k in &keys {
         let op = EncOp::Change(k.clone());
         assert_eq!(cc.before_op(&shared, &h0, &op), OpGrant::Granted);
-        apply_op(&mut shared.enc.lock(), &mut t, &op, 1);
+        apply_op(&shared.enc.lock(), &mut t, &op, 1);
     }
     assert_eq!(
         cc.residual_grants().iter().filter(|&&g| g > 0).count(),
@@ -198,7 +198,7 @@ fn direct_drive_pessimistic_partial_acquisition_cleanup() {
     assert_eq!(cc.tracked_owners(), 1);
     // compensate under held locks (strict), then release everywhere
     {
-        let mut enc = shared.enc.lock();
+        let enc = shared.enc.lock();
         let mut comp = shared.rec.begin_txn("C(J1a0)");
         let report = enc.abort(t, &mut comp);
         assert!(report.failed.is_empty(), "strict compensation cannot fail");
@@ -214,7 +214,7 @@ fn direct_drive_pessimistic_partial_acquisition_cleanup() {
     for k in &keys {
         let op = EncOp::Change(k.clone());
         assert_eq!(cc.before_op(&shared, &h1, &op), OpGrant::Granted);
-        apply_op(&mut shared.enc.lock(), &mut r, &op, 1);
+        apply_op(&shared.enc.lock(), &mut r, &op, 1);
     }
     assert_eq!(cc.try_finish(&shared, &h1), FinishOutcome::Committed);
     shared.enc.lock().commit(r);
@@ -239,7 +239,7 @@ fn direct_drive_optimistic_victim_abort_cleanup() {
     for k in &keys {
         let op = EncOp::Insert(k.clone());
         assert_eq!(cc.before_op(&shared, &sh, &op), OpGrant::Granted);
-        apply_op(&mut shared.enc.lock(), &mut setup, &op, 0);
+        apply_op(&shared.enc.lock(), &mut setup, &op, 0);
     }
     assert_eq!(cc.try_finish(&shared, &sh), FinishOutcome::Committed);
     shared.enc.lock().commit(setup);
@@ -251,11 +251,11 @@ fn direct_drive_optimistic_victim_abort_cleanup() {
     for k in keys.iter().take(2) {
         let op = EncOp::Change(k.clone());
         assert_eq!(cc.before_op(&shared, &h0, &op), OpGrant::Granted);
-        apply_op(&mut shared.enc.lock(), &mut t, &op, 1);
+        apply_op(&shared.enc.lock(), &mut t, &op, 1);
     }
     assert_eq!(cc.live_entries(), 1, "attempt registered as live");
     {
-        let mut enc = shared.enc.lock();
+        let enc = shared.enc.lock();
         let mut comp = shared.rec.begin_txn("C(J1a0)");
         enc.abort(t, &mut comp);
     }
@@ -270,7 +270,7 @@ fn direct_drive_optimistic_victim_abort_cleanup() {
     for k in &keys {
         let op = EncOp::Change(k.clone());
         assert_eq!(cc.before_op(&shared, &h1, &op), OpGrant::Granted);
-        apply_op(&mut shared.enc.lock(), &mut r, &op, 1);
+        apply_op(&shared.enc.lock(), &mut r, &op, 1);
     }
     assert_eq!(cc.try_finish(&shared, &h1), FinishOutcome::Committed);
     shared.enc.lock().commit(r);
@@ -426,7 +426,7 @@ fn direct_drive_incremental_reseed_after_repeated_aborts() {
     for k in &keys {
         let op = EncOp::Insert(k.clone());
         assert_eq!(cc.before_op(&shared, &sh, &op), OpGrant::Granted);
-        apply_op(&mut shared.enc.lock(), &mut setup, &op, 0);
+        apply_op(&shared.enc.lock(), &mut setup, &op, 0);
     }
     assert_eq!(cc.try_finish(&shared, &sh), FinishOutcome::Committed);
     shared.enc.lock().commit(setup);
@@ -438,12 +438,12 @@ fn direct_drive_incremental_reseed_after_repeated_aborts() {
         for k in keys.iter().take(2) {
             let op = EncOp::Change(k.clone());
             assert_eq!(cc.before_op(&shared, &h, &op), OpGrant::Granted);
-            apply_op(&mut shared.enc.lock(), &mut t, &op, (j + 1) as usize);
+            apply_op(&shared.enc.lock(), &mut t, &op, (j + 1) as usize);
         }
         if j % 2 == 0 {
             // mid-flight victim abort: compensate, then notify the cc
             {
-                let mut enc = shared.enc.lock();
+                let enc = shared.enc.lock();
                 let mut comp = shared.rec.begin_txn(format!("C(J{}a0)", j + 1));
                 enc.abort(t, &mut comp);
             }
@@ -475,7 +475,7 @@ fn direct_drive_incremental_reseed_after_repeated_aborts() {
     for k in &keys {
         let op = EncOp::Change(k.clone());
         assert_eq!(cc.before_op(&shared, &hr, &op), OpGrant::Granted);
-        apply_op(&mut shared.enc.lock(), &mut r, &op, 99);
+        apply_op(&shared.enc.lock(), &mut r, &op, 99);
     }
     assert_eq!(cc.try_finish(&shared, &hr), FinishOutcome::Committed);
     shared.enc.lock().commit(r);

@@ -13,14 +13,14 @@
 
 use oodb_btree::{CompensatedEncyclopedia, Encyclopedia, EncyclopediaConfig};
 use oodb_engine::{
-    audit, shard_of_key, CcKind, ConcurrencyControl, Engine, EngineConfig, EngineMetrics,
-    EngineShared, FinishOutcome, OpGrant, OptimisticCc, ShardedOptimisticCc, TxnHandle,
+    audit, shard_of_key, CcKind, ConcurrencyControl, ConcurrentEnc, Engine, EngineConfig,
+    EngineMetrics, EngineShared, ExecPath, FinishOutcome, OpGrant, OptimisticCc,
+    ShardedOptimisticCc, TxnHandle,
 };
 use oodb_lock::OwnerId;
 use oodb_model::TxnCtx;
 use oodb_sim::exec::apply_op;
 use oodb_sim::EncOp;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -97,7 +97,7 @@ impl VirtualScheduler {
         );
         let shared = EngineShared {
             rec,
-            enc: Mutex::new(CompensatedEncyclopedia::new(enc)),
+            enc: ConcurrentEnc::new(CompensatedEncyclopedia::new(enc), ExecPath::SingleMutex),
             metrics: EngineMetrics::with_shards(cc.shards()),
             trace: oodb_engine::Tracer::disabled(),
             dur: None,
@@ -176,8 +176,8 @@ impl VirtualScheduler {
         let op = a.ops[a.cursor].clone();
         match self.cc.before_op(&self.shared, &a.handle, &op) {
             OpGrant::Granted => {
-                let mut enc = self.shared.enc.lock();
-                apply_op(&mut enc, &mut a.ctx, &op, t + 1);
+                let enc = self.shared.enc.lock();
+                apply_op(&enc, &mut a.ctx, &op, t + 1);
                 drop(enc);
                 a.cursor += 1;
             }
@@ -216,7 +216,7 @@ impl VirtualScheduler {
     fn abort_attempt(&mut self, t: usize, a: Attempt) {
         let next = a.attempt + 1;
         {
-            let mut enc = self.shared.enc.lock();
+            let enc = self.shared.enc.lock();
             let mut comp = self.shared.rec.begin_txn(format!(
                 "C(J{}a{})",
                 (t as u64).wrapping_add(1),
@@ -297,10 +297,10 @@ impl VirtualScheduler {
             let op = a.ops[a.cursor].clone();
             match self.cc.before_op(&self.shared, &a.handle, &op) {
                 OpGrant::Granted => {
-                    let mut enc = self.shared.enc.lock();
+                    let enc = self.shared.enc.lock();
                     // wrapping: the Setup preload uses the reserved id u64::MAX
                     apply_op(
-                        &mut enc,
+                        &enc,
                         &mut a.ctx,
                         &op,
                         (a.handle.job as usize).wrapping_add(1),

@@ -11,6 +11,29 @@
 //! sends further messages); every `primitive` records a leaf action *and*
 //! appends its execution to the history in real time, realizing Axiom 1's
 //! order by construction.
+//!
+//! # Concurrent recording
+//!
+//! The engine's latched execution path drives many transactions through
+//! the encyclopedia *simultaneously* — page latches, not a global
+//! database mutex, order the physical accesses. The recorder is the one
+//! piece of shared state every worker still touches on every primitive,
+//! so its contract is load-bearing:
+//!
+//! * [`Recorder`] is `Send + Sync` and cheap to clone; all clones append
+//!   into one mutex-guarded system + history. A `primitive` call is a
+//!   single atomic append, so the history position it claims *is* the
+//!   real execution order of that page access under whatever latch made
+//!   the access safe — exactly the Axiom 1 order the checkers need.
+//! * [`TxnCtx`] is `Send` but deliberately not `Sync`: a transaction is
+//!   one of the paper's Definition 9 processes, driven by exactly one
+//!   worker at a time, though it may migrate between workers across
+//!   retries. Each cursor keeps its own call-stack, so two transactions
+//!   recording interleaved nested actions never see each other's frames.
+//!
+//! The compile-time assertions below pin both bounds; losing either
+//! (say, by storing a non-`Send` field in a cursor) would silently
+//! re-serialize the engine behind the recorder.
 
 use oodb_core::commutativity::{ActionDescriptor, SpecRef};
 use oodb_core::history::History;
@@ -23,6 +46,16 @@ struct Inner {
     ts: TransactionSystem,
     history: History,
 }
+
+// The latched engine hands recorder clones to every worker thread and
+// migrates transaction cursors between workers across retries; both
+// bounds are part of the crate's public contract (see module docs).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<Recorder>();
+    assert_send::<TxnCtx>();
+};
 
 /// Shared, thread-safe recorder. Cheap to clone.
 #[derive(Clone)]

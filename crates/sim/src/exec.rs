@@ -77,12 +77,7 @@ pub fn page_descriptor(op: &EncOp) -> ActionDescriptor {
 /// search miss both execute as read-only probes of the key's index
 /// entry — the trace analyzer relies on this flag to reconstruct each
 /// operation's *effective* conflict footprint exactly.
-pub fn apply_op(
-    enc: &mut CompensatedEncyclopedia,
-    ctx: &mut TxnCtx,
-    op: &EncOp,
-    tag: usize,
-) -> bool {
+pub fn apply_op(enc: &CompensatedEncyclopedia, ctx: &mut TxnCtx, op: &EncOp, tag: usize) -> bool {
     match op {
         EncOp::Insert(k) => enc.insert(ctx, k, &write_text(op, tag).unwrap()).is_some(),
         EncOp::Search(k) => enc.search(ctx, k).is_some(),

@@ -51,7 +51,7 @@ pub fn replay_workload(
     interleave_seed: u64,
 ) -> ReplayOutput {
     let rec = Recorder::new();
-    let mut enc = Encyclopedia::create(
+    let enc = Encyclopedia::create(
         rec.clone(),
         EncyclopediaConfig {
             fanout,

@@ -71,7 +71,7 @@ pub fn run_threaded(workload: &EncWorkload, fanout: usize) -> ThreadedOutput {
             ..EncyclopediaConfig::default()
         },
     );
-    let mut compensated = CompensatedEncyclopedia::new(enc);
+    let compensated = CompensatedEncyclopedia::new(enc);
 
     // preload single-threaded
     {
@@ -132,7 +132,7 @@ fn run_transaction(shared: &Shared, rec: &Recorder, index: usize, ops: &[EncOp])
             if !acquire_blocking(shared, owner, &op_descriptor(op)) {
                 // deadlock victim: compensate what this attempt did, while
                 // still holding the semantic locks, then release and retry
-                let mut enc = shared.enc.lock();
+                let enc = shared.enc.lock();
                 let mut comp = rec.begin_txn(format!("C(T{}a{attempt})", index + 1));
                 let report = enc.abort(ctx, &mut comp);
                 assert!(
@@ -152,8 +152,8 @@ fn run_transaction(shared: &Shared, rec: &Recorder, index: usize, ops: &[EncOp])
                 continue 'retry;
             }
             // lock held: execute the operation atomically
-            let mut enc = shared.enc.lock();
-            apply_op(&mut enc, &mut ctx, op, index + 1);
+            let enc = shared.enc.lock();
+            apply_op(&enc, &mut ctx, op, index + 1);
             drop(enc);
             done += 1;
         }

@@ -13,8 +13,10 @@
 
 #![warn(missing_docs)]
 
+pub mod bufferpool;
 pub mod page;
 pub mod pool;
 
+pub use bufferpool::{BufferManager, PageExclusive, PageShared, RwLatch};
 pub use page::{Page, PageError, PageId, DEFAULT_PAGE_SIZE};
 pub use pool::{BufferPool, PinnedPage, PoolError, PoolStats};

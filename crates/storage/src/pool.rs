@@ -12,6 +12,13 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// How long [`BufferPool::install`] waits for a frame to become evictable
+/// before giving up with [`PoolError::NoEvictableFrame`]. Transient
+/// all-pinned states (every frame latched by an in-flight traversal)
+/// resolve in microseconds; a persistent one is a real capacity bug.
+const EVICT_WAIT: Duration = Duration::from_millis(100);
 
 /// Counters exposed by the pool; all monotone.
 #[derive(Debug, Default)]
@@ -68,6 +75,11 @@ struct Frame {
     dirty: AtomicU64, // 0/1; u64 to share the atomic module
     /// LRU clock value of the last unpinned use.
     last_used: AtomicU64,
+    /// Pool-LSN stamped at the most recent dirtying write. Eviction of a
+    /// dirty frame is refused while `lsn` is above the durable watermark:
+    /// writing such a page to the disk sim would persist effects whose
+    /// log records may not be durable yet (evict-before-flush).
+    lsn: AtomicU64,
 }
 
 struct Inner {
@@ -79,6 +91,14 @@ struct Inner {
     page_size: usize,
     clock: AtomicU64,
     next_page: AtomicU64,
+    /// Monotone counter stamped onto frames at each dirtying write.
+    lsn_clock: AtomicU64,
+    /// Highest pool-LSN known durable. `u64::MAX` means eviction is
+    /// ungated (no WAL in front of the pool); [`BufferPool::gate_evictions`]
+    /// lowers it to 0 and [`BufferPool::advance_durable_floor`] raises it.
+    durable_floor: AtomicU64,
+    /// Simulated device latency applied to fetch misses, in nanoseconds.
+    io_latency_ns: AtomicU64,
     stats: PoolStats,
 }
 
@@ -116,6 +136,9 @@ impl BufferPool {
                 page_size,
                 clock: AtomicU64::new(0),
                 next_page: AtomicU64::new(0),
+                lsn_clock: AtomicU64::new(0),
+                durable_floor: AtomicU64::new(u64::MAX),
+                io_latency_ns: AtomicU64::new(0),
                 stats: PoolStats::default(),
             }),
         }
@@ -139,6 +162,45 @@ impl BufferPool {
     /// Number of currently resident frames.
     pub fn resident(&self) -> usize {
         self.inner.frames.lock().len()
+    }
+
+    /// Whether `id` currently occupies a frame.
+    pub fn is_resident(&self, id: PageId) -> bool {
+        self.inner.frames.lock().contains_key(&id)
+    }
+
+    /// Simulated device latency applied to every fetch miss (the sleep
+    /// happens outside all pool locks, so concurrent misses overlap).
+    pub fn set_io_latency(&self, latency: Duration) {
+        self.inner
+            .io_latency_ns
+            .store(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// The pool-LSN of the most recent dirtying write.
+    pub fn current_lsn(&self) -> u64 {
+        self.inner.lsn_clock.load(Ordering::Acquire)
+    }
+
+    /// Start gating eviction on the durable watermark: until
+    /// [`advance_durable_floor`](Self::advance_durable_floor) says
+    /// otherwise, **no** dirty frame may be written back by eviction.
+    /// Pools without a WAL in front of them never call this and keep the
+    /// ungated behavior.
+    pub fn gate_evictions(&self) {
+        self.inner.durable_floor.store(0, Ordering::Release);
+    }
+
+    /// Declare every page write with pool-LSN `<= lsn` durable (its log
+    /// records have been forced), unlocking those frames for eviction.
+    /// Monotone: a lower value than the current floor is ignored.
+    pub fn advance_durable_floor(&self, lsn: u64) {
+        // fetch_max would treat the ungated u64::MAX floor as the max;
+        // only advance when gated.
+        let cur = self.inner.durable_floor.load(Ordering::Acquire);
+        if cur != u64::MAX {
+            self.inner.durable_floor.fetch_max(lsn, Ordering::AcqRel);
+        }
     }
 
     /// Allocate a fresh page (resident and pinned).
@@ -168,6 +230,12 @@ impl BufferPool {
             .get(&id)
             .cloned()
             .ok_or(PoolError::UnknownPage(id))?;
+        let latency = self.inner.io_latency_ns.load(Ordering::Relaxed);
+        if latency > 0 {
+            // Simulated device read, outside every pool lock: concurrent
+            // misses overlap their waits like a real disk queue would.
+            std::thread::sleep(Duration::from_nanos(latency));
+        }
         let frame = self.install(id, Page::from_bytes(bytes))?;
         Ok(self.pin_frame(id, frame))
     }
@@ -221,38 +289,60 @@ impl BufferPool {
     }
 
     /// Install a page into a frame, evicting an unpinned LRU victim if the
-    /// pool is full.
+    /// pool is full. A frame is a victim candidate only if it is unpinned
+    /// AND (clean OR its last write is at or below the durable watermark):
+    /// eviction writes dirty victims back to the disk sim, and a write-back
+    /// ahead of the WAL durable point would be an evict-before-flush bug.
+    /// Transient all-pinned/all-gated states are waited out briefly before
+    /// reporting [`PoolError::NoEvictableFrame`].
     fn install(&self, id: PageId, page: Page) -> Result<Arc<Frame>, PoolError> {
-        let mut frames = self.inner.frames.lock();
-        if let Some(existing) = frames.get(&id) {
-            return Ok(existing.clone());
-        }
-        if frames.len() >= self.inner.capacity {
-            // LRU among unpinned frames
-            let victim = frames
-                .iter()
-                .filter(|(_, f)| f.pins.load(Ordering::Acquire) == 0)
-                .min_by_key(|(_, f)| f.last_used.load(Ordering::Acquire))
-                .map(|(vid, _)| *vid)
-                .ok_or(PoolError::NoEvictableFrame)?;
-            let frame = frames.remove(&victim).expect("victim resident");
-            if frame.dirty.load(Ordering::Acquire) == 1 {
-                self.inner
-                    .disk
-                    .lock()
-                    .insert(victim, frame.page.read().as_bytes().to_vec());
-                self.inner.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+        let deadline = std::time::Instant::now() + EVICT_WAIT;
+        let mut page = Some(page);
+        loop {
+            let mut frames = self.inner.frames.lock();
+            if let Some(existing) = frames.get(&id) {
+                return Ok(existing.clone());
             }
-            self.inner.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            if frames.len() >= self.inner.capacity {
+                let floor = self.inner.durable_floor.load(Ordering::Acquire);
+                let victim = frames
+                    .iter()
+                    .filter(|(_, f)| {
+                        f.pins.load(Ordering::Acquire) == 0
+                            && (f.dirty.load(Ordering::Acquire) == 0
+                                || f.lsn.load(Ordering::Acquire) <= floor)
+                    })
+                    .min_by_key(|(_, f)| f.last_used.load(Ordering::Acquire))
+                    .map(|(vid, _)| *vid);
+                let victim = match victim {
+                    Some(v) => v,
+                    None if std::time::Instant::now() < deadline => {
+                        drop(frames);
+                        std::thread::sleep(Duration::from_millis(1));
+                        continue;
+                    }
+                    None => return Err(PoolError::NoEvictableFrame),
+                };
+                let frame = frames.remove(&victim).expect("victim resident");
+                if frame.dirty.load(Ordering::Acquire) == 1 {
+                    self.inner
+                        .disk
+                        .lock()
+                        .insert(victim, frame.page.read().as_bytes().to_vec());
+                    self.inner.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                }
+                self.inner.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            let frame = Arc::new(Frame {
+                page: RwLock::new(page.take().expect("page installed at most once")),
+                pins: AtomicU64::new(0),
+                dirty: AtomicU64::new(0),
+                last_used: AtomicU64::new(self.inner.clock.fetch_add(1, Ordering::Relaxed)),
+                lsn: AtomicU64::new(0),
+            });
+            frames.insert(id, frame.clone());
+            return Ok(frame);
         }
-        let frame = Arc::new(Frame {
-            page: RwLock::new(page),
-            pins: AtomicU64::new(0),
-            dirty: AtomicU64::new(0),
-            last_used: AtomicU64::new(self.inner.clock.fetch_add(1, Ordering::Relaxed)),
-        });
-        frames.insert(id, frame.clone());
-        Ok(frame)
     }
 }
 
@@ -267,10 +357,15 @@ impl PinnedPage {
         f(&self.frame.page.read())
     }
 
-    /// Mutate the page under an exclusive latch; marks the frame dirty.
+    /// Mutate the page under an exclusive latch; marks the frame dirty and
+    /// stamps it with a fresh pool-LSN for the durable-watermark gate.
     pub fn write<R>(&self, f: impl FnOnce(&mut Page) -> R) -> R {
         let r = f(&mut self.frame.page.write());
         self.frame.dirty.store(1, Ordering::Release);
+        self.frame.lsn.store(
+            self.pool.inner.lsn_clock.fetch_add(1, Ordering::AcqRel) + 1,
+            Ordering::Release,
+        );
         r
     }
 }
@@ -373,6 +468,62 @@ mod tests {
         }
         let p = pool.fetch(id).unwrap();
         assert_eq!(p.read(|pg| pg.read(0).unwrap().to_vec()), b"x");
+    }
+
+    #[test]
+    fn eviction_respects_durable_watermark() {
+        let pool = BufferPool::new(2, 256);
+        pool.gate_evictions();
+        // Dirty a page; its pool-LSN (1) is above the floor (0), so its
+        // effects are not yet covered by durable log records.
+        let a_id = {
+            let a = pool.allocate().unwrap();
+            a.write(|pg| pg.insert(b"undurable").unwrap());
+            a.id()
+        };
+        let b_id = {
+            let b = pool.allocate().unwrap();
+            b.id()
+        };
+        // Pool full. Eviction must pick the clean page, never write back
+        // the dirty one ahead of the watermark.
+        let c = pool.allocate().unwrap();
+        let c_id = c.id();
+        drop(c);
+        assert!(pool.is_resident(a_id), "gated dirty page was evicted");
+        assert!(!pool.is_resident(b_id));
+        assert!(
+            !pool.disk_snapshot()[&a_id]
+                .windows(9)
+                .any(|w| w == b"undurable"),
+            "evict-before-flush: undurable bytes reached the disk sim"
+        );
+        // Next eviction again skips the gated page.
+        let d = pool.allocate().unwrap();
+        assert!(pool.is_resident(a_id), "gated dirty page was evicted");
+        assert!(!pool.is_resident(c_id));
+        // Once the watermark covers the write, the page becomes a normal
+        // eviction victim and its data survives the round trip.
+        pool.advance_durable_floor(pool.current_lsn());
+        let e = pool.allocate().unwrap();
+        assert!(!pool.is_resident(a_id), "durable dirty page should evict");
+        drop(d);
+        drop(e);
+        let p = pool.fetch(a_id).unwrap();
+        assert_eq!(p.read(|pg| pg.read(0).unwrap().to_vec()), b"undurable");
+    }
+
+    #[test]
+    fn ungated_pool_keeps_legacy_eviction() {
+        // No WAL in front: dirty pages evict freely (floor = u64::MAX).
+        let pool = BufferPool::new(2, 256);
+        for i in 0..4u8 {
+            let p = pool.allocate().unwrap();
+            p.write(|pg| pg.insert(&[i]).unwrap());
+        }
+        let (_, _, evictions, writebacks, _) = pool.stats().snapshot();
+        assert!(evictions >= 2);
+        assert!(writebacks >= 2);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use oodb::model::Recorder;
 fn main() {
     // ----- Example 1 over the live encyclopedia ------------------------
     let rec = Recorder::new();
-    let mut enc = Encyclopedia::create(
+    let enc = Encyclopedia::create(
         rec.clone(),
         EncyclopediaConfig {
             fanout: 8,

@@ -27,7 +27,7 @@ fn main() {
             ..Default::default()
         },
     );
-    let mut enc = CompensatedEncyclopedia::new(enc);
+    let enc = CompensatedEncyclopedia::new(enc);
 
     // seed data
     let mut setup = rec.begin_txn("Setup");

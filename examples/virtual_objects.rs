@@ -12,12 +12,12 @@
 use oodb::btree::{required_page_size, BLinkTree};
 use oodb::core::prelude::*;
 use oodb::model::Recorder;
-use oodb::storage::BufferPool;
+use oodb::storage::{BufferManager, BufferPool};
 
 fn main() {
     let rec = Recorder::new();
-    let pool = BufferPool::new(256, required_page_size(2));
-    let mut tree = BLinkTree::create(pool, rec.clone(), "BpTree", 2);
+    let mgr = BufferManager::new(BufferPool::new(256, required_page_size(2)));
+    let tree = BLinkTree::create(mgr, rec.clone(), "BpTree", 2);
 
     // enough inserts to split leaves and the root repeatedly
     let mut ctx = rec.begin_txn("Load");

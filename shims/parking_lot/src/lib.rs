@@ -124,6 +124,30 @@ impl<T: ?Sized> RwLock<T> {
         };
         RwLockWriteGuard { inner }
     }
+
+    /// Acquire a shared read guard without blocking; `None` if a writer
+    /// holds the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(inner) => Some(RwLockReadGuard { inner }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                inner: p.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Acquire the exclusive write guard without blocking; `None` if any
+    /// holder exists.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(inner) => Some(RwLockWriteGuard { inner }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                inner: p.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {

@@ -4,7 +4,7 @@
 
 use oodb::btree::{required_page_size, BLinkTree, Encyclopedia, EncyclopediaConfig};
 use oodb::model::Recorder;
-use oodb::storage::BufferPool;
+use oodb::storage::{BufferManager, BufferPool};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -38,8 +38,8 @@ proptest! {
     fn tree_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..120),
                              fanout in 2usize..8) {
         let rec = Recorder::new();
-        let pool = BufferPool::new(512, required_page_size(fanout));
-        let mut tree = BLinkTree::create(pool, rec.clone(), "T", fanout);
+        let mgr = BufferManager::new(BufferPool::new(512, required_page_size(fanout)));
+        let tree = BLinkTree::create(mgr, rec.clone(), "T", fanout);
         let mut oracle: BTreeMap<String, u64> = BTreeMap::new();
         let mut ctx = rec.begin_txn("Ops");
         for (i, op) in ops.iter().enumerate() {
@@ -82,7 +82,7 @@ proptest! {
     #[test]
     fn encyclopedia_matches_hashmap(ops in prop::collection::vec(op_strategy(), 1..60)) {
         let rec = Recorder::new();
-        let mut enc = Encyclopedia::create(
+        let enc = Encyclopedia::create(
             rec.clone(),
             EncyclopediaConfig { fanout: 4, ..Default::default() },
         );

@@ -20,7 +20,7 @@ fn example1_commuting_handcrafted_vs_live() {
 
     // live
     let rec = Recorder::new();
-    let mut enc = Encyclopedia::create(
+    let enc = Encyclopedia::create(
         rec.clone(),
         EncyclopediaConfig {
             fanout: 8,
@@ -68,7 +68,7 @@ fn example1_conflicting_handcrafted_vs_live() {
         .has_edge(&tops[0], &tops[1]));
 
     let rec = Recorder::new();
-    let mut enc = Encyclopedia::create(rec.clone(), EncyclopediaConfig::default());
+    let enc = Encyclopedia::create(rec.clone(), EncyclopediaConfig::default());
     let mut t3 = rec.begin_txn("T3");
     let mut t4 = rec.begin_txn("T4");
     enc.insert(&mut t3, "DBS", "x");
@@ -91,7 +91,7 @@ fn example1_conflicting_handcrafted_vs_live() {
 #[test]
 fn example4_live_encyclopedia() {
     let rec = Recorder::new();
-    let mut enc = Encyclopedia::create(rec.clone(), EncyclopediaConfig::default());
+    let enc = Encyclopedia::create(rec.clone(), EncyclopediaConfig::default());
 
     let mut t1 = rec.begin_txn("T1");
     let mut t2 = rec.begin_txn("T2");
@@ -138,7 +138,7 @@ fn example4_live_encyclopedia() {
 #[test]
 fn example4_unrepeatable_read_rejected() {
     let rec = Recorder::new();
-    let mut enc = Encyclopedia::create(rec.clone(), EncyclopediaConfig::default());
+    let enc = Encyclopedia::create(rec.clone(), EncyclopediaConfig::default());
     let mut setup = rec.begin_txn("Setup");
     enc.insert(&mut setup, "DBMS", "v1");
     drop(setup);
